@@ -1,0 +1,13 @@
+package ppc
+
+import (
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+// tpchBenchConfig is the database configuration for end-to-end benchmarks:
+// small enough that per-iteration execution stays in the microsecond range.
+func tpchBenchConfig() tpch.Config { return tpch.Config{Scale: 2000, Seed: 5} }
+
+// q1SQL returns the paper's running-example template.
+func q1SQL() string { return queries.Defs[1].SQL }

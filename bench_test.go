@@ -1,0 +1,258 @@
+package ppc
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each regenerates its experiment at a reduced workload size;
+// run cmd/ppcbench for full-size tables), plus microbenchmarks of the
+// pipeline's hot operations (optimization, prediction, insertion, plan
+// rebinding, execution).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig08 -benchtime=1x   # one full regeneration
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns the shared benchmark substrate (TPC-H SF1/1000).
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.MustNewEnv(1000, 2012)
+	})
+	return benchEnv
+}
+
+// benchFrac keeps per-iteration experiment cost low; cmd/ppcbench runs the
+// full-size configurations.
+const benchFrac = 0.08
+
+// runExperiment benchmarks one registry entry end to end.
+func runExperiment(b *testing.B, id string) {
+	e := env(b)
+	runner, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(e, benchFrac); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ----------------------------------
+
+func BenchmarkFig02PlanSpace(b *testing.B)            { runExperiment(b, "fig2") }
+func BenchmarkFig03ClusteringComparison(b *testing.B) { runExperiment(b, "fig3") }
+func BenchmarkTab01SpaceTime(b *testing.B)            { runExperiment(b, "tab1") }
+func BenchmarkFig08ApproxPrecision(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFig09Histograms(b *testing.B)           { runExperiment(b, "fig9") }
+func BenchmarkTab02ConfidenceSweep(b *testing.B)      { runExperiment(b, "tab2") }
+func BenchmarkFig10aTransforms(b *testing.B)          { runExperiment(b, "fig10a") }
+func BenchmarkFig10bBuckets(b *testing.B)             { runExperiment(b, "fig10b") }
+func BenchmarkFig11Online(b *testing.B)               { runExperiment(b, "fig11") }
+func BenchmarkFig12Ablations(b *testing.B)            { runExperiment(b, "fig12") }
+func BenchmarkFig13Runtime(b *testing.B)              { runExperiment(b, "fig13") }
+func BenchmarkFig14Predictability(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkTab03Templates(b *testing.B)            { runExperiment(b, "tab3") }
+func BenchmarkDriftDetection(b *testing.B)            { runExperiment(b, "drift") }
+
+// --- Microbenchmarks: Table I's complexity claims in the small -------------
+
+// BenchmarkOptimizeQ1 measures the cost a cache hit avoids on the paper's
+// running example (two-way join).
+func BenchmarkOptimizeQ1(b *testing.B) { benchOptimize(b, "Q1") }
+
+// BenchmarkOptimizeQ8 measures it on the most expensive template (five-way
+// join, six parameters).
+func BenchmarkOptimizeQ8(b *testing.B) { benchOptimize(b, "Q8") }
+
+func benchOptimize(b *testing.B, name string) {
+	e := env(b)
+	tmpl := e.Templates[name]
+	points := workload.Uniform(tmpl.Degree(), 256, 7)
+	insts := make([]optimizer.Instance, len(points))
+	for i, p := range points {
+		inst, err := e.Opt.InstanceAt(tmpl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Opt.OptimizeInstance(insts[i%len(insts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// trainedPredictors builds each algorithm on the same Q1 sample set.
+func trainedPredictors(b *testing.B, n int) (bl *cluster.Density, nv *core.Naive, al *core.ApproxLSH, hist *core.ApproxLSHHist, tests [][]float64) {
+	e := env(b)
+	tmpl := e.Templates["Q1"]
+	oracle := experiments.NewOracle(e, tmpl)
+	samples, err := oracle.SamplePlanSpace(n, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Dims: tmpl.Degree(), Radius: 0.05, Gamma: 0.7, NoiseElimination: true, Seed: 5}
+	nv = core.MustNewNaive(cfg)
+	al = core.MustNewApproxLSH(cfg)
+	hist = core.MustNewApproxLSHHist(cfg)
+	for _, s := range samples {
+		nv.Insert(s)
+		al.Insert(s)
+		hist.Insert(s)
+	}
+	bl = cluster.NewDensity(samples, 0.05, 0.7)
+	tests = workload.Uniform(tmpl.Degree(), 512, 11)
+	return
+}
+
+// BenchmarkPredictBaseline is O(|X|) per prediction (Table I row 1).
+func BenchmarkPredictBaseline(b *testing.B) {
+	bl, _, _, _, tests := trainedPredictors(b, 3200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Predict(tests[i%len(tests)])
+	}
+}
+
+// BenchmarkPredictNaive is O(1) per prediction (Table I row 2).
+func BenchmarkPredictNaive(b *testing.B) {
+	_, nv, _, _, tests := trainedPredictors(b, 3200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nv.Predict(tests[i%len(tests)])
+	}
+}
+
+// BenchmarkPredictApproxLSH is O(t) per prediction (Table I row 3).
+func BenchmarkPredictApproxLSH(b *testing.B) {
+	_, _, al, _, tests := trainedPredictors(b, 3200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Predict(tests[i%len(tests)])
+	}
+}
+
+// BenchmarkPredictApproxLSHHist is O(t·log b_h) per prediction (Table I
+// row 4) — the price of a plan-cache lookup in the paper's architecture.
+func BenchmarkPredictApproxLSHHist(b *testing.B) {
+	_, _, _, hist, tests := trainedPredictors(b, 3200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist.Predict(tests[i%len(tests)])
+	}
+}
+
+// BenchmarkInsertApproxLSHHist measures the online insertion path
+// (Section IV-D feedback).
+func BenchmarkInsertApproxLSHHist(b *testing.B) {
+	e := env(b)
+	tmpl := e.Templates["Q1"]
+	hist := core.MustNewApproxLSHHist(core.Config{Dims: tmpl.Degree(), Seed: 5})
+	points := workload.Uniform(tmpl.Degree(), 4096, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := points[i%len(points)]
+		hist.Insert(cluster.Sample{Point: p, Plan: i % 7, Cost: float64(i % 100)})
+	}
+}
+
+// BenchmarkRecost measures plan rebinding — what a cache hit pays instead
+// of full optimization.
+func BenchmarkRecost(b *testing.B) {
+	e := env(b)
+	tmpl := e.Templates["Q8"]
+	inst, err := e.Opt.InstanceAt(tmpl, []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := e.Opt.OptimizeInstance(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	other, err := e.Opt.InstanceAt(tmpl, []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Opt.Recost(tmpl.Query, plan, other.Values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteQ1 measures plan execution on the in-memory engine.
+func BenchmarkExecuteQ1(b *testing.B) {
+	e := env(b)
+	tmpl := e.Templates["Q1"]
+	inst, err := e.Opt.InstanceAt(tmpl, []float64{0.3, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := e.Opt.OptimizeInstance(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := executor.New(e.DB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndRun measures the facade's full Run path (predict or
+// optimize, rebind, execute) in steady state.
+func BenchmarkEndToEndRun(b *testing.B) {
+	sys := MustOpen(Options{TPCH: tpchBenchConfig()})
+	if err := sys.Register("Q1", q1SQL()); err != nil {
+		b.Fatal(err)
+	}
+	tmpl, err := sys.Template("Q1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := workload.MustTrajectories(workload.TrajectoryConfig{
+		Dims: tmpl.Degree(), NumPoints: 512, Sigma: 0.01, Seed: 3,
+	})
+	values := make([][]float64, len(points))
+	for i, p := range points {
+		inst, err := sys.Optimizer().InstanceAt(tmpl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		values[i] = inst.Values
+	}
+	// Warm the learner so the benchmark reflects steady state.
+	for i := 0; i < 64; i++ {
+		if _, err := sys.Run("Q1", values[i%len(values)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run("Q1", values[i%len(values)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command ppcplanspace renders a query template's plan space: for
+// two-parameter templates an ASCII plan diagram (like the paper's Figure
+// 2), and for any template a summary of its distinct plans with their
+// coverage, probed at uniform plan space points.
+//
+// Usage:
+//
+//	ppcplanspace [-scale N] [-seed S] [-res R] [-probes P] [template]
+//
+// Default template is Q1 (the paper's running example). With -csv the 2-D
+// diagram is emitted as selectivity1,selectivity2,planid rows suitable for
+// plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 400, "TPC-H scale divisor")
+	seed := flag.Int64("seed", 2012, "database generation seed")
+	res := flag.Int("res", 48, "grid resolution for 2-D diagrams")
+	probes := flag.Int("probes", 500, "uniform probes for the plan summary")
+	csv := flag.Bool("csv", false, "emit the 2-D diagram as CSV instead of ASCII")
+	flag.Parse()
+
+	name := "Q1"
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
+	}
+	env, err := experiments.NewEnv(*scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tmpl, err := env.Template(name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("template %s (degree %d): %s\n\n", name, tmpl.Degree(), tmpl.Query)
+
+	if tmpl.Degree() == 2 {
+		diagram, err := experiments.RunFig2(env, experiments.Fig2Config{Template: name, Resolution: *res})
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Println("sel1,sel2,plan")
+			for row := 0; row < diagram.Resolution; row++ {
+				for col := 0; col < diagram.Resolution; col++ {
+					fmt.Printf("%.4f,%.4f,%d\n",
+						(float64(col)+0.5)/float64(diagram.Resolution),
+						(float64(row)+0.5)/float64(diagram.Resolution),
+						diagram.Grid[row][col])
+				}
+			}
+		} else {
+			diagram.Table().Fprint(os.Stdout)
+		}
+	}
+
+	// Plan inventory with coverage.
+	oracle := experiments.NewOracle(env, tmpl)
+	counts := make(map[int]int)
+	for _, x := range workload.Uniform(tmpl.Degree(), *probes, *seed+5) {
+		plan, _, err := oracle.Label(x)
+		if err != nil {
+			fatal(err)
+		}
+		counts[plan]++
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return counts[ids[a]] > counts[ids[b]] })
+	fmt.Printf("%d distinct plans over %d uniform probes:\n", len(ids), *probes)
+	for _, id := range ids {
+		fmt.Printf("  plan %2d  %5.1f%%  %s\n", id,
+			100*float64(counts[id])/float64(*probes), oracle.Registry().Fingerprint(id))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppcplanspace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+package ppc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+// The System must be safe for concurrent use: parallel goroutines running
+// different templates through the shared cache. Run with -race.
+func TestConcurrentRuns(t *testing.T) {
+	sys, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Q0", "Q1", "Q2", "Q3"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names))
+	for gi, name := range names {
+		wg.Add(1)
+		go func(gi int, name string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			tmpl, err := sys.Template(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 40; i++ {
+				point := make([]float64, tmpl.Degree())
+				for j := range point {
+					point[j] = 0.2 + rng.Float64()*0.3
+				}
+				inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := sys.Run(name, inst.Values); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(gi, name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		st, err := sys.TemplateStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SamplesAbsorbed == 0 {
+			t.Errorf("%s absorbed no samples", name)
+		}
+	}
+}
+
+// Registering while running must not race either.
+func TestConcurrentRegisterAndRun(t *testing.T) {
+	sys, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("Q0", queries.Defs[0].SQL); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q0")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < len(queries.Defs); i++ {
+			if err := sys.Register(queries.Defs[i].Name, queries.Defs[i].SQL); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 30; i++ {
+			inst, err := sys.Optimizer().InstanceAt(tmpl, []float64{rng.Float64(), rng.Float64()})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := sys.Run("Q0", inst.Values); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := len(sys.TemplateNames()); got != 9 {
+		t.Errorf("templates = %d", got)
+	}
+}

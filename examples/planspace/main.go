@@ -1,0 +1,50 @@
+// Planspace: visualize how the optimizer's plan choice varies with the
+// parameters of a query template — the plan diagram of the paper's Figure
+// 2 — and verify the plan choice predictability assumption the clustering
+// framework rests on (Appendix B).
+//
+//	go run ./examples/planspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	env, err := experiments.NewEnv(1000, 2012)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's running example: Q1 over (selectivity of s_date <= v1,
+	// selectivity of l_partkey <= v2).
+	diagram, err := experiments.RunFig2(env, experiments.Fig2Config{Template: "Q1", Resolution: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmpl, _ := env.Template("Q1")
+	fmt.Printf("plan space of Q1: %s\n\n", tmpl.Query)
+	diagram.Table().Fprint(os.Stdout)
+
+	// Quantify the two assumptions the framework exploits: nearby points
+	// usually share the optimal plan (choice predictability), and when
+	// they do, costs are close (cost predictability).
+	check, err := experiments.RunFig14(env, experiments.Fig14Config{
+		Templates:  []string{"Q1"},
+		TestPoints: 40,
+		Neighbors:  120,
+		Radii:      []float64{0.05, 0.1, 0.2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan choice / cost predictability (Assumptions 1 and 2):")
+	for _, row := range check.Rows {
+		fmt.Printf("  d=%.2f: P(same plan)=%.3f (95%% lower bound %.3f), P(cost within 1.25x | same plan)=%.3f\n",
+			row.Radius, row.SamePlanProb, row.LowerCI, row.CostWithinEps)
+	}
+}

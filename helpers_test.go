@@ -1,0 +1,24 @@
+package ppc
+
+import (
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+)
+
+// onlineForTest returns an online configuration suited to small test
+// workloads: modest radius, standard gamma, noise elimination on.
+func onlineForTest() core.OnlineConfig {
+	return core.OnlineConfig{
+		Core:             core.Config{Radius: 0.05, Gamma: 0.8, NoiseElimination: true, Seed: 7},
+		InvocationProb:   0.05,
+		NegativeFeedback: true,
+		Seed:             11,
+	}
+}
+
+// execDirect runs a plan against the system's database outside the cache
+// path.
+func execDirect(sys *System, plan *optimizer.Plan) (*executor.Result, error) {
+	return executor.New(sys.DB()).Run(plan)
+}

@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the parametric
+// plan caching (PPC) framework built on online density-based plan space
+// clustering with locality-sensitive hashing and database-histogram
+// synopses (Sections IV and V).
+//
+// Three space-and-time-efficient approximations of the BASELINE
+// density predictor (package cluster) are provided:
+//
+//   - Naive (Section IV-B): a single fixed grid over the plan space with a
+//     per-plan count and average cost per bucket.
+//   - ApproxLSH (Section IV-B): t randomized locality-preserving
+//     transformations, each with its own grid; per-plan densities are the
+//     median across the transformations' estimates.
+//   - ApproxLSHHist (Section IV-C): the grids are linearized with a z-order
+//     curve and summarized in database histograms — one per (transform,
+//     plan) pair — with noise elimination.
+//
+// All three support online insertion (Section IV-D); Online wraps
+// ApproxLSHHist with the full online protocol: warm-up, randomized
+// optimizer invocations, negative feedback via the plan cost predictability
+// check, sliding-window precision/recall estimation and drift detection.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/lsh"
+)
+
+// Config parameterizes the approximate predictors. The defaults mirror the
+// paper's experimental configuration.
+type Config struct {
+	// Dims is the plan space dimensionality r (the template's parameter
+	// degree). Required.
+	Dims int
+	// OutDims is the intermediate dimensionality s of the LSH transforms;
+	// 0 selects the paper's default (s = r up to 6 dimensions).
+	OutDims int
+	// Transforms is the number of randomized transformations t (default 5).
+	Transforms int
+	// GridBuckets is the per-grid bucket budget b_g for Naive and
+	// ApproxLSH (default 4096).
+	GridBuckets int
+	// HistBuckets is the per-histogram bucket budget b_h for ApproxLSHHist
+	// (default 40).
+	HistBuckets int
+	// Radius is the query radius d (default 0.1).
+	Radius float64
+	// Gamma is the confidence threshold γ (default 0.8).
+	Gamma float64
+	// NoiseElimination enables the Section IV-C sanity check that discards
+	// plan densities below a fixed fraction of the point mass in the query
+	// range.
+	NoiseElimination bool
+	// NoiseFraction is that fixed fraction (default 0.05).
+	NoiseFraction float64
+	// MinSamples delays predictions until at least this many labeled
+	// points have been absorbed (Section IV-D: "plan predictions are
+	// delayed until the algorithm has obtained sufficient input").
+	// Default 20; set negative to disable.
+	MinSamples int
+	// Seed drives the randomized transformations.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Dims <= 0 {
+		return c, fmt.Errorf("core: Dims must be positive, got %d", c.Dims)
+	}
+	if c.OutDims == 0 {
+		c.OutDims = lsh.DefaultOutputDims(c.Dims)
+	}
+	if c.OutDims < 0 || c.OutDims > c.Dims {
+		return c, fmt.Errorf("core: OutDims %d out of range [1,%d]", c.OutDims, c.Dims)
+	}
+	if c.Transforms == 0 {
+		c.Transforms = 5
+	}
+	if c.Transforms < 0 {
+		return c, fmt.Errorf("core: Transforms must be positive, got %d", c.Transforms)
+	}
+	if c.GridBuckets == 0 {
+		c.GridBuckets = 4096
+	}
+	if c.GridBuckets < 1 {
+		return c, fmt.Errorf("core: GridBuckets must be positive, got %d", c.GridBuckets)
+	}
+	if c.HistBuckets == 0 {
+		c.HistBuckets = 40
+	}
+	if c.HistBuckets < 1 {
+		return c, fmt.Errorf("core: HistBuckets must be positive, got %d", c.HistBuckets)
+	}
+	if c.Radius == 0 {
+		c.Radius = 0.1
+	}
+	if c.Radius < 0 || c.Radius > 1 {
+		return c, fmt.Errorf("core: Radius %v out of (0,1]", c.Radius)
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.8
+	}
+	if c.Gamma < 0 || c.Gamma > 1 {
+		return c, fmt.Errorf("core: Gamma %v out of [0,1]", c.Gamma)
+	}
+	if c.NoiseFraction == 0 {
+		c.NoiseFraction = 0.05
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 20
+	}
+	if c.MinSamples < 0 {
+		c.MinSamples = 0
+	}
+	return c, nil
+}
+
+// Predictor is an online plan space predictor: it absorbs labeled samples
+// one at a time and answers plan predictions in time independent of the
+// number of absorbed samples.
+type Predictor interface {
+	// Insert folds one labeled plan space point into the synopsis.
+	Insert(s cluster.Sample)
+	// Predict returns the plan prediction at x (possibly NULL).
+	Predict(x []float64) cluster.Prediction
+	// TotalPoints returns the number of inserted samples.
+	TotalPoints() int
+	// MemoryBytes returns the storage footprint under the paper's
+	// accounting (Table I).
+	MemoryBytes() int
+	// Reset discards all absorbed samples (drift recovery).
+	Reset()
+}
+
+// CostPredictor additionally estimates the expected execution cost of the
+// predicted plan near x, enabling the negative-feedback error detector
+// (Section IV-E).
+type CostPredictor interface {
+	Predictor
+	// PredictWithCost returns the prediction and, when OK, the estimated
+	// average execution cost of that plan in the vicinity of x. costOK is
+	// false when no cost information is available.
+	PredictWithCost(x []float64) (pred cluster.Prediction, cost float64, costOK bool)
+}
+
+// gridCellsPerAxis returns the per-axis resolution of a grid of dims
+// dimensions within a total bucket budget.
+func gridCellsPerAxis(budget, dims int) int {
+	c := int(math.Floor(math.Pow(float64(budget), 1/float64(dims))))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// clampPoint copies x with every coordinate clamped into [0,1].
+func clampPoint(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Max(0, math.Min(1, v))
+	}
+	return out
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// quadrantPlan labels [0,1]^2 with four quadrant plans — a simple space
+// with known boundaries.
+func quadrantPlan(x []float64) int {
+	p := 0
+	if x[0] >= 0.5 {
+		p |= 1
+	}
+	if x[1] >= 0.5 {
+		p |= 2
+	}
+	return p
+}
+
+// quadrantCost is smooth within each region (plan cost predictability).
+func quadrantCost(x []float64) float64 {
+	return 10*float64(quadrantPlan(x)+1) + x[0] + x[1]
+}
+
+func fillQuadrants(p Predictor, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		p.Insert(cluster.Sample{Point: x, Plan: quadrantPlan(x), Cost: quadrantCost(x)})
+	}
+}
+
+// precisionRecall evaluates a predictor over a uniform test set.
+func precisionRecall(p Predictor, n int, seed int64, label func([]float64) int) (prec, rec float64) {
+	rng := rand.New(rand.NewSource(seed))
+	correct, answered := 0, 0
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		got := p.Predict(x)
+		if !got.OK {
+			continue
+		}
+		answered++
+		if got.Plan == label(x) {
+			correct++
+		}
+	}
+	if answered == 0 {
+		return 1, 0
+	}
+	return float64(correct) / float64(answered), float64(correct) / float64(n)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{Dims: 5}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OutDims != 5 || cfg.Transforms != 5 || cfg.HistBuckets != 40 ||
+		cfg.Radius != 0.1 || cfg.Gamma != 0.8 || cfg.GridBuckets != 4096 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dims: 0},
+		{Dims: 2, OutDims: 3},
+		{Dims: 2, Transforms: -1},
+		{Dims: 2, Radius: 1.5},
+		{Dims: 2, Gamma: 2},
+		{Dims: 2, GridBuckets: -4},
+		{Dims: 2, HistBuckets: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNaivePredictQuadrants(t *testing.T) {
+	p := MustNewNaive(Config{Dims: 2, Radius: 0.08, Gamma: 0.7, GridBuckets: 1024})
+	fillQuadrants(p, 4000, 1)
+	if p.TotalPoints() != 4000 {
+		t.Fatalf("TotalPoints = %d", p.TotalPoints())
+	}
+	for _, tc := range []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{0.25, 0.25}, 0},
+		{[]float64{0.75, 0.25}, 1},
+		{[]float64{0.25, 0.75}, 2},
+		{[]float64{0.75, 0.75}, 3},
+	} {
+		got := p.Predict(tc.x)
+		if !got.OK || got.Plan != tc.want {
+			t.Errorf("Predict(%v) = %+v, want plan %d", tc.x, got, tc.want)
+		}
+	}
+	// Exactly on the crossing of both boundaries: unsafe.
+	if got := p.Predict([]float64{0.5, 0.5}); got.OK {
+		t.Errorf("center should be NULL, got %+v", got)
+	}
+}
+
+func TestNaiveCostEstimate(t *testing.T) {
+	p := MustNewNaive(Config{Dims: 2, Radius: 0.08, Gamma: 0.7, GridBuckets: 1024})
+	fillQuadrants(p, 4000, 2)
+	pred, cost, ok := p.PredictWithCost([]float64{0.25, 0.25})
+	if !pred.OK || !ok {
+		t.Fatalf("prediction failed: %+v %v", pred, ok)
+	}
+	// True cost near (0.25,0.25) is ~10.5; the bucket average should be in
+	// the plan-0 cost band [10, 12].
+	if cost < 10 || cost > 12 {
+		t.Errorf("cost estimate = %v, want ~10.5", cost)
+	}
+}
+
+func TestNaiveMemoryAccounting(t *testing.T) {
+	p := MustNewNaive(Config{Dims: 2, GridBuckets: 1000})
+	fillQuadrants(p, 100, 3)
+	// 4 plans seen: 4 * 1000 * 8.
+	if got := p.MemoryBytes(); got != 4*1000*8 {
+		t.Errorf("MemoryBytes = %d, want %d", got, 4*1000*8)
+	}
+	p.Reset()
+	if p.TotalPoints() != 0 {
+		t.Error("Reset failed")
+	}
+	if got := p.Predict([]float64{0.25, 0.25}); got.OK {
+		t.Error("prediction after Reset should be NULL")
+	}
+}
+
+func TestApproxLSHPredictQuadrants(t *testing.T) {
+	p := MustNewApproxLSH(Config{Dims: 2, Radius: 0.08, Gamma: 0.7, GridBuckets: 1024, Seed: 5})
+	fillQuadrants(p, 4000, 4)
+	prec, rec := precisionRecall(p, 2000, 99, quadrantPlan)
+	if prec < 0.93 {
+		t.Errorf("precision = %v, want >= 0.93", prec)
+	}
+	if rec < 0.5 {
+		t.Errorf("recall = %v, want >= 0.5", rec)
+	}
+}
+
+func TestApproxLSHMemoryAccounting(t *testing.T) {
+	p := MustNewApproxLSH(Config{Dims: 2, Transforms: 7, GridBuckets: 512, Seed: 5})
+	fillQuadrants(p, 200, 5)
+	if got := p.MemoryBytes(); got != 7*4*512*8 {
+		t.Errorf("MemoryBytes = %d, want %d", got, 7*4*512*8)
+	}
+}
+
+func TestApproxLSHDeterministicWithSeed(t *testing.T) {
+	mk := func() *ApproxLSH {
+		p := MustNewApproxLSH(Config{Dims: 2, Seed: 42})
+		fillQuadrants(p, 1000, 6)
+		return p
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		pa, pb := a.Predict(x), b.Predict(x)
+		if pa != pb {
+			t.Fatalf("nondeterministic at %v: %+v vs %+v", x, pa, pb)
+		}
+	}
+}
+
+func TestApproxLSHHistPredictQuadrants(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.08, Gamma: 0.7, Seed: 5, NoiseElimination: true})
+	fillQuadrants(p, 4000, 8)
+	prec, rec := precisionRecall(p, 2000, 100, quadrantPlan)
+	if prec < 0.9 {
+		t.Errorf("precision = %v, want >= 0.9", prec)
+	}
+	if rec < 0.4 {
+		t.Errorf("recall = %v, want >= 0.4", rec)
+	}
+}
+
+func TestApproxLSHHistCostTracking(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.08, Gamma: 0.7, Seed: 5})
+	fillQuadrants(p, 5000, 9)
+	pred, cost, ok := p.PredictWithCost([]float64{0.2, 0.2})
+	if !pred.OK || !ok {
+		t.Fatalf("prediction failed: %+v %v", pred, ok)
+	}
+	if cost < 9 || cost > 13 {
+		t.Errorf("cost estimate = %v, want ~10.4", cost)
+	}
+}
+
+func TestApproxLSHHistMemoryAccounting(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 4, Transforms: 5, HistBuckets: 40, Seed: 1})
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		plan := 0
+		if x[0] > 0.5 {
+			plan = 1
+		}
+		p.Insert(cluster.Sample{Point: x, Plan: plan, Cost: 1})
+	}
+	// 2 plans plus 1 marginal per transform: 5 * (2+1) * 40 * 12 bytes.
+	if got := p.MemoryBytes(); got != 5*3*40*12 {
+		t.Errorf("MemoryBytes = %d, want %d", got, 5*3*40*12)
+	}
+	// The histogram footprint must be far below the raw sample footprint
+	// (the point of the paper): 500 samples * (4 dims * 8 + 8) = 20k bytes.
+	if got := p.MemoryBytes(); got >= 500*(4*8+8) {
+		t.Errorf("histogram synopsis (%d B) not smaller than raw samples", got)
+	}
+}
+
+func TestApproxLSHHistReset(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 2, Seed: 5})
+	fillQuadrants(p, 1000, 11)
+	p.Reset()
+	if p.TotalPoints() != 0 {
+		t.Error("TotalPoints after Reset")
+	}
+	if got := p.Predict([]float64{0.25, 0.25}); got.OK {
+		t.Error("prediction after Reset should be NULL")
+	}
+}
+
+func TestNoiseEliminationSuppressesStragglers(t *testing.T) {
+	// A dense plan plus a single mislabeled point: with noise elimination
+	// the straggler cannot block predictions near it.
+	withNoise := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.1, Gamma: 0.9, Seed: 5, NoiseElimination: true, NoiseFraction: 0.005})
+	without := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.1, Gamma: 0.9, Seed: 5})
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 3000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		for _, p := range []Predictor{withNoise, without} {
+			p.Insert(cluster.Sample{Point: x, Plan: 0, Cost: 1})
+		}
+	}
+	// One rogue point of plan 1 in the middle.
+	for _, p := range []Predictor{withNoise, without} {
+		p.Insert(cluster.Sample{Point: []float64{0.5, 0.5}, Plan: 1, Cost: 1})
+	}
+	got := withNoise.Predict([]float64{0.5, 0.5})
+	if !got.OK || got.Plan != 0 {
+		t.Errorf("noise elimination failed to suppress straggler: %+v", got)
+	}
+}
+
+// --- Online driver ---------------------------------------------------------
+
+// quadrantEnv implements Environment over the quadrant space. Executing a
+// non-optimal plan costs a configurable factor more than the optimal one.
+type quadrantEnv struct {
+	optimizeCalls int
+	wrongFactor   float64
+	// shift relabels the space (for drift tests).
+	shift bool
+}
+
+func (e *quadrantEnv) plan(x []float64) int {
+	p := quadrantPlan(x)
+	if e.shift {
+		p = 3 - p // all regions change identity
+	}
+	return p
+}
+
+func (e *quadrantEnv) Optimize(x []float64) (int, float64) {
+	e.optimizeCalls++
+	return e.plan(x), quadrantCost(x)
+}
+
+func (e *quadrantEnv) ExecuteCost(x []float64, plan int) float64 {
+	if plan == e.plan(x) {
+		return quadrantCost(x)
+	}
+	return quadrantCost(x) * e.wrongFactor
+}
+
+func TestOnlineWarmUpAndSteadyState(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core:           Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		InvocationProb: 0.05,
+		Seed:           17,
+	}, env)
+	rng := rand.New(rand.NewSource(13))
+	var earlyInvocations, lateInvocations, lateHits int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := o.Step(x)
+		if d.Invoked && i < n/4 {
+			earlyInvocations++
+		}
+		if i >= 3*n/4 {
+			if d.Invoked {
+				lateInvocations++
+			}
+			if d.CacheHit {
+				lateHits++
+			}
+		}
+	}
+	if lateInvocations >= earlyInvocations {
+		t.Errorf("no learning: early invocations %d, late invocations %d", earlyInvocations, lateInvocations)
+	}
+	if lateHits < n/4/3 {
+		t.Errorf("steady-state cache hit rate too low: %d of %d", lateHits, n/4)
+	}
+	// The optimizer must have been called far less than once per query in
+	// steady state.
+	if env.optimizeCalls > 3*n/4 {
+		t.Errorf("optimizer called %d times over %d queries", env.optimizeCalls, n)
+	}
+}
+
+func TestOnlinePredictionsAreAccurate(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		NegativeFeedback: true,
+		Seed:             18,
+	}, env)
+	rng := rand.New(rand.NewSource(14))
+	correct, predicted := 0, 0
+	for i := 0; i < 3000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := o.Step(x)
+		if i > 1000 && d.Predicted && d.CacheHit {
+			predicted++
+			if d.Plan == env.plan(x) {
+				correct++
+			}
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("no steady-state predictions")
+	}
+	prec := float64(correct) / float64(predicted)
+	if prec < 0.93 {
+		t.Errorf("online precision = %v over %d predictions, want >= 0.93", prec, predicted)
+	}
+}
+
+func TestOnlineNegativeFeedbackCorrects(t *testing.T) {
+	// Train on the quadrant space, then silently shift the labels. With
+	// negative feedback the cost mismatch must trigger corrections; the
+	// driver may also drop the synopsis entirely via the precision floor.
+	env := &quadrantEnv{wrongFactor: 5}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		NegativeFeedback: true,
+		WindowK:          50,
+		PrecisionFloor:   0.5,
+		Seed:             19,
+	}, env)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 1500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		o.Step(x)
+	}
+	env.shift = true
+	var corrections, resets int
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := o.Step(x)
+		if d.FeedbackCorrection {
+			corrections++
+		}
+		if d.Reset {
+			resets++
+		}
+	}
+	if corrections == 0 {
+		t.Error("negative feedback never fired after the plan space shifted")
+	}
+	if resets == 0 {
+		t.Error("drift recovery never fired after the plan space shifted")
+	}
+	// After recovery, the driver must re-learn the shifted space.
+	correct, predicted := 0, 0
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := o.Step(x)
+		if i > 1000 && d.CacheHit {
+			predicted++
+			if d.Plan == env.plan(x) {
+				correct++
+			}
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("no predictions after recovery")
+	}
+	if prec := float64(correct) / float64(predicted); prec < 0.9 {
+		t.Errorf("post-recovery precision = %v", prec)
+	}
+}
+
+func TestOnlineRandomInvocationsAudit(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core:           Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5},
+		InvocationProb: 0.3,
+		Seed:           20,
+	}, env)
+	rng := rand.New(rand.NewSource(16))
+	randomInvocations := 0
+	for i := 0; i < 1500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if o.Step(x).RandomInvocation {
+			randomInvocations++
+		}
+	}
+	if randomInvocations == 0 {
+		t.Error("random invocations never fired at 30% mean probability")
+	}
+}
+
+func TestOnlineConfigValidation(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 2}
+	if _, err := NewOnline(OnlineConfig{Core: Config{Dims: 0}}, env); err == nil {
+		t.Error("expected error for bad core config")
+	}
+	if _, err := NewOnline(OnlineConfig{Core: Config{Dims: 2}, InvocationProb: 2}, env); err == nil {
+		t.Error("expected error for bad invocation probability")
+	}
+	if _, err := NewOnline(OnlineConfig{Core: Config{Dims: 2}}, nil); err == nil {
+		t.Error("expected error for nil environment")
+	}
+	if _, err := NewOnline(OnlineConfig{Core: Config{Dims: 2}, WindowK: -1}, env); err == nil {
+		t.Error("expected error for bad window")
+	}
+}
+
+func TestOnlineEstimatorTracksPrecision(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		NegativeFeedback: true,
+		InvocationProb:   0.1,
+		Seed:             21,
+	}, env)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		o.Step(x)
+	}
+	prec, ok := o.Estimator().Precision()
+	if !ok {
+		t.Fatal("no precision estimate")
+	}
+	if prec < 0.8 {
+		t.Errorf("estimated precision = %v on a stable space", prec)
+	}
+	rec, ok := o.Estimator().Recall()
+	if !ok || rec <= 0 {
+		t.Errorf("estimated recall = %v,%v", rec, ok)
+	}
+}
+
+func TestPositiveFeedbackBudgetAndSafety(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		NegativeFeedback: true,
+		PositiveFeedback: true,
+		PositiveRatio:    0.5,
+		Seed:             23,
+	}, env)
+	rng := rand.New(rand.NewSource(29))
+	insertions := 0
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if o.Step(x).PositiveInsertion {
+			insertions++
+		}
+	}
+	if insertions == 0 {
+		t.Error("positive feedback never fired on a smooth space")
+	}
+	if o.SelfLabeled() != insertions {
+		t.Errorf("SelfLabeled = %d, want %d", o.SelfLabeled(), insertions)
+	}
+	// Budget: self-labeled points never exceed PositiveRatio × validated.
+	if float64(o.SelfLabeled()) > 0.5*float64(o.Validated())+1 {
+		t.Errorf("budget violated: %d self-labeled vs %d validated", o.SelfLabeled(), o.Validated())
+	}
+	// Safety: precision must remain high with feedback enabled.
+	prec, ok := o.Estimator().Precision()
+	if !ok || prec < 0.9 {
+		t.Errorf("precision with positive feedback = %v,%v", prec, ok)
+	}
+}
+
+func TestPositiveFeedbackDisabledByDefault(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(OnlineConfig{
+		Core: Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5},
+		Seed: 31,
+	}, env)
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if o.Step(x).PositiveInsertion {
+			t.Fatal("positive insertion without the extension enabled")
+		}
+	}
+	if o.SelfLabeled() != 0 {
+		t.Errorf("SelfLabeled = %d", o.SelfLabeled())
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// degenerateEnv is a single-plan environment: whatever the point, the same
+// plan is optimal. The learner should converge to near-zero invocations.
+type degenerateEnv struct{ calls int }
+
+func (e *degenerateEnv) Optimize(x []float64) (int, float64) {
+	e.calls++
+	return 42, 100 + x[0]
+}
+
+func (e *degenerateEnv) ExecuteCost(x []float64, plan int) float64 {
+	return 100 + x[0]
+}
+
+func TestOnlineSinglePlanSpace(t *testing.T) {
+	env := &degenerateEnv{}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.1, Gamma: 0.9, Seed: 5, NoiseElimination: true},
+		NegativeFeedback: true,
+		Seed:             41,
+	}, env)
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 800; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := o.Step(x)
+		if d.Predicted && d.PredictedPlan != 42 {
+			t.Fatalf("predicted plan %d in a single-plan space", d.PredictedPlan)
+		}
+	}
+	// After warm-up the whole space is one cluster; beyond the warm-up
+	// samples almost no invocations should remain.
+	if env.calls > 150 {
+		t.Errorf("optimizer called %d times in a single-plan space", env.calls)
+	}
+}
+
+// zeroCostEnv reports execution cost 0 (e.g. a plan whose tree was evicted
+// from the cache): the cost check must treat it as a violent mismatch and
+// re-optimize rather than crash or accept it.
+type zeroCostEnv struct {
+	degenerateEnv
+	corrections int
+}
+
+func (e *zeroCostEnv) ExecuteCost(x []float64, plan int) float64 { return 0 }
+
+func TestOnlineZeroCostObservationTriggersCorrection(t *testing.T) {
+	env := &zeroCostEnv{}
+	o := MustNewOnline(OnlineConfig{
+		Core:             Config{Dims: 2, Radius: 0.1, Gamma: 0.9, Seed: 5},
+		NegativeFeedback: true,
+		Seed:             47,
+	}, env)
+	rng := rand.New(rand.NewSource(53))
+	corrections := 0
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if o.Step(x).FeedbackCorrection {
+			corrections++
+		}
+	}
+	if corrections == 0 {
+		t.Error("zero-cost observations never triggered feedback corrections")
+	}
+}
+
+// Insert with mismatched dimensionality must panic loudly (programming
+// error), not corrupt state.
+func TestInsertDimensionMismatchPanics(t *testing.T) {
+	for name, p := range map[string]Predictor{
+		"naive":   MustNewNaive(Config{Dims: 3}),
+		"lsh":     MustNewApproxLSH(Config{Dims: 3, Seed: 1}),
+		"lshhist": MustNewApproxLSHHist(Config{Dims: 3, Seed: 1}),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on dimension mismatch", name)
+				}
+			}()
+			p.Insert(cluster.Sample{Point: []float64{0.5, 0.5}, Plan: 1})
+		}()
+	}
+}
+
+// Predictions on out-of-range points must clamp, not panic.
+func TestPredictOutOfRangePointsClamp(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.1, Gamma: 0.5, Seed: 5, MinSamples: -1})
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 500; i++ {
+		p.Insert(cluster.Sample{Point: []float64{rng.Float64(), rng.Float64()}, Plan: 3, Cost: 1})
+	}
+	for _, x := range [][]float64{{-5, 0.5}, {0.5, 99}, {-1, -1}, {2, 2}} {
+		got := p.Predict(x)
+		if got.OK && got.Plan != 3 {
+			t.Errorf("Predict(%v) = %+v", x, got)
+		}
+	}
+}
+
+// MinSamples gate: no predictions until the threshold, predictions after.
+func TestMinSamplesGate(t *testing.T) {
+	p := MustNewApproxLSHHist(Config{Dims: 2, Radius: 0.1, Gamma: 0.5, Seed: 5, MinSamples: 50})
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 49; i++ {
+		p.Insert(cluster.Sample{Point: []float64{rng.Float64(), rng.Float64()}, Plan: 1, Cost: 1})
+		if got := p.Predict([]float64{0.5, 0.5}); got.OK {
+			t.Fatalf("prediction after only %d samples", i+1)
+		}
+	}
+	p.Insert(cluster.Sample{Point: []float64{0.5, 0.5}, Plan: 1, Cost: 1})
+	if got := p.Predict([]float64{0.5, 0.5}); !got.OK {
+		t.Error("no prediction after reaching MinSamples on a pure space")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/histogram"
+	"repro/internal/lsh"
+	"repro/internal/zorder"
+)
+
+// ApproxLSHHist is the APPROXIMATE-LSH-HISTOGRAMS algorithm of Section
+// IV-C: each intermediate LSH space is linearized with a z-order
+// space-filling curve, and the distribution of plan space points along the
+// curve is summarized in database histograms — one histogram per
+// (transformation, plan) pair, each holding at most b_h buckets of a point
+// count and an average execution cost.
+//
+// A density (or cost) query for plan P in space I_j is a histogram range
+// query on [T_j(x)−δ, T_j(x)+δ], where 2δ equals the volume of the query
+// hypersphere of radius d (translated into the intermediate space). Two
+// sanity checks guard the z-order's lossiness: noise elimination discards
+// plan densities below a fixed fraction of the total point count, and the
+// confidence check of Section IV-A suppresses predictions near apparent
+// boundaries (including spurious ones created by buckets that span
+// non-contiguous curve intervals).
+type ApproxLSHHist struct {
+	cfg      Config
+	ensemble *lsh.Ensemble
+	curves   []*zorder.Curve
+	hists    []map[int]*histogram.Dynamic // per transform: plan -> histogram
+	// marginals summarize the total point distribution along each curve;
+	// they anchor the rank-measure component of the query range so that 2δ
+	// covers at least the ball-volume fraction of the observed points
+	// regardless of how the randomized projection distorts the value
+	// distribution.
+	marginals []*histogram.Dynamic
+	// valueDeltas is the geometric half-range per transform: the z-measure
+	// of the image of the query ball.
+	valueDeltas []float64
+	// ballFrac is the plan-space volume fraction of the query ball — the
+	// paper's "2δ equal to the volume of a hypersphere with radius d".
+	ballFrac float64
+	total    int
+	plans    map[int]bool
+}
+
+// NewApproxLSHHist creates an APPROXIMATE-LSH-HISTOGRAMS predictor.
+func NewApproxLSHHist(cfg Config) (*ApproxLSHHist, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bits := zBitsFor(cfg.OutDims)
+	curve, err := zorder.New(cfg.OutDims, bits)
+	if err != nil {
+		return nil, err
+	}
+	ens, err := lsh.NewEnsemble(cfg.Transforms, cfg.Dims, cfg.OutDims, int(curve.CellsPerAxis()), rng)
+	if err != nil {
+		return nil, err
+	}
+	p := &ApproxLSHHist{
+		cfg:         cfg,
+		ensemble:    ens,
+		curves:      make([]*zorder.Curve, cfg.Transforms),
+		hists:       make([]map[int]*histogram.Dynamic, cfg.Transforms),
+		marginals:   make([]*histogram.Dynamic, cfg.Transforms),
+		valueDeltas: make([]float64, cfg.Transforms),
+		ballFrac:    math.Min(geom.BallVolume(cfg.Dims, cfg.Radius), 0.5),
+		plans:       make(map[int]bool),
+	}
+	for i := range p.curves {
+		p.curves[i] = curve
+		p.hists[i] = make(map[int]*histogram.Dynamic)
+		p.marginals[i] = histogram.MustNewDynamic(cfg.HistBuckets, 0, 1)
+		tr := ens.Transform(i)
+		delta := geom.BallVolume(cfg.OutDims, cfg.Radius*tr.AxisScale()) / 2
+		delta = math.Max(delta, curve.CellWidth())
+		p.valueDeltas[i] = math.Min(delta, 0.5)
+	}
+	return p, nil
+}
+
+// MustNewApproxLSHHist is like NewApproxLSHHist but panics on error.
+func MustNewApproxLSHHist(cfg Config) *ApproxLSHHist {
+	p, err := NewApproxLSHHist(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// zBitsFor picks the z-order per-axis bit depth for an s-dimensional grid:
+// fine enough that histogram buckets, not grid cells, limit resolution.
+func zBitsFor(s int) int {
+	bits := 30 / s
+	if bits > 10 {
+		bits = 10
+	}
+	if bits < 3 {
+		bits = 3
+	}
+	return bits
+}
+
+// Insert implements Predictor: the point is pushed through every
+// transformation and its z-order coordinate is inserted into the histogram
+// of its plan in every intermediate space.
+func (p *ApproxLSHHist) Insert(s cluster.Sample) {
+	if len(s.Point) != p.cfg.Dims {
+		panic(fmt.Sprintf("core: expected %d dims, got %d", p.cfg.Dims, len(s.Point)))
+	}
+	x := clampPoint(s.Point)
+	for i := range p.hists {
+		z := p.curves[i].Value(p.ensemble.Transform(i).Apply(x))
+		h := p.hists[i][s.Plan]
+		if h == nil {
+			h = histogram.MustNewDynamic(p.cfg.HistBuckets, 0, 1)
+			p.hists[i][s.Plan] = h
+		}
+		h.Insert(z, s.Cost)
+		p.marginals[i].Insert(z, 0)
+	}
+	p.plans[s.Plan] = true
+	p.total++
+}
+
+// Predict implements Predictor.
+func (p *ApproxLSHHist) Predict(x []float64) cluster.Prediction {
+	pred, _, _ := p.PredictWithCost(x)
+	return pred
+}
+
+// PredictWithCost implements CostPredictor.
+func (p *ApproxLSHHist) PredictWithCost(x []float64) (cluster.Prediction, float64, bool) {
+	if p.total < p.cfg.MinSamples {
+		return cluster.Prediction{}, 0, false
+	}
+	x = clampPoint(x)
+	t := len(p.hists)
+	countEst := make(map[int][]float64)
+	costEst := make(map[int][]float64)
+	localMass := make([]float64, 0, t)
+	for i := range p.hists {
+		z := p.curves[i].Value(p.ensemble.Transform(i).Apply(x))
+		lo, hi := p.queryRange(i, z)
+		localMass = append(localMass, p.marginals[i].RangeCount(lo, hi))
+		for plan, h := range p.hists[i] {
+			cost, count := h.RangeCost(lo, hi)
+			if count <= 0 {
+				continue
+			}
+			countEst[plan] = append(countEst[plan], count)
+			costEst[plan] = append(costEst[plan], cost/count)
+		}
+	}
+	med := make(map[int]float64, len(countEst))
+	for plan, ests := range countEst {
+		for len(ests) < t {
+			ests = append(ests, 0)
+		}
+		med[plan] = median(ests)
+	}
+	// Noise elimination (Section IV-C): plan densities below a fixed
+	// fraction of the plan space point mass found in the query range are
+	// assumed to be z-order false positives and are excluded from the
+	// vote. (The paper states the threshold as a constant factor of the
+	// total point count; we apply it to the local in-range mass so the
+	// check stays meaningful for sub-bucket interpolated queries.)
+	if p.cfg.NoiseElimination {
+		floor := p.cfg.NoiseFraction * median(localMass)
+		for plan, c := range med {
+			if c < floor {
+				delete(med, plan)
+			}
+		}
+	}
+	pred := cluster.PredictFromDensities(med, p.cfg.Gamma)
+	if !pred.OK {
+		return pred, 0, false
+	}
+	costs := costEst[pred.Plan]
+	if len(costs) == 0 {
+		return pred, 0, false
+	}
+	return pred, median(costs), true
+}
+
+// queryRange computes the curve interval around z that realizes the
+// paper's δ (half of the query sphere's volume) for transform i. Two
+// measures are combined:
+//
+//   - the geometric value range [z ± δ_i], where 2δ_i is the z-measure of
+//     the image of the query ball — exact when the workload is locally
+//     dense (the online, trajectory case);
+//   - the rank range covering the ball-volume fraction of the observed
+//     points around z's rank in the marginal distribution — an adaptive
+//     floor that keeps high-dimensional queries meaningful when the
+//     geometric ball is so small that it would be empty under any
+//     realistic sample size.
+//
+// The returned interval is the union of the two.
+func (p *ApproxLSHHist) queryRange(i int, z float64) (lo, hi float64) {
+	lo, hi = z-p.valueDeltas[i], z+p.valueDeltas[i]
+	m := p.marginals[i]
+	if m.TotalCount() > 0 {
+		rank := rankOf(m, z)
+		f := p.ballFrac / 2
+		if rlo := quantileOf(m, math.Max(0, rank-f)); rlo < lo {
+			lo = rlo
+		}
+		if rhi := quantileOf(m, math.Min(1, rank+f)); rhi > hi {
+			hi = rhi
+		}
+	}
+	if hi <= lo {
+		hi = math.Nextafter(lo, math.Inf(1))
+	}
+	return lo, hi
+}
+
+// rankOf estimates the fraction of points with value <= z.
+func rankOf(h *histogram.Dynamic, z float64) float64 {
+	c := h.RangeCount(0, z)
+	t := h.TotalCount()
+	if t <= 0 {
+		return 0
+	}
+	return c / t
+}
+
+// quantileOf inverts rankOf via the bucket structure.
+func quantileOf(h *histogram.Dynamic, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	target := p * h.TotalCount()
+	var cum float64
+	for _, b := range h.Buckets() {
+		if cum+b.Count >= target {
+			if b.Count <= 0 {
+				return b.Lo
+			}
+			frac := (target - cum) / b.Count
+			return b.Lo + frac*b.Width()
+		}
+		cum += b.Count
+	}
+	return 1
+}
+
+// TotalPoints implements Predictor.
+func (p *ApproxLSHHist) TotalPoints() int { return p.total }
+
+// MemoryBytes implements Predictor with the paper's accounting — t·n·b_h·12
+// — plus one marginal histogram per transformation.
+func (p *ApproxLSHHist) MemoryBytes() int {
+	n := len(p.plans)
+	if n == 0 {
+		n = 1
+	}
+	return p.cfg.Transforms * (n + 1) * p.cfg.HistBuckets * histogram.BytesPerBucket
+}
+
+// Reset implements Predictor: all histograms are dropped, matching the
+// Section IV-E recovery action ("we drop all histograms created for that
+// query template and start accumulating sample points from scratch").
+func (p *ApproxLSHHist) Reset() {
+	for i := range p.hists {
+		p.hists[i] = make(map[int]*histogram.Dynamic)
+		p.marginals[i].Reset()
+	}
+	p.plans = make(map[int]bool)
+	p.total = 0
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *ApproxLSHHist) Config() Config { return p.cfg }

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Environment is the online driver's view of the RDBMS: it can invoke the
+// optimizer at a plan space point, and it can observe the execution cost of
+// a given (possibly stale) plan at a point. Experiment harnesses implement
+// it on top of the optimizer and executor substrates.
+type Environment interface {
+	// Optimize returns the optimizer's plan choice at point x and that
+	// plan's execution cost at x.
+	Optimize(x []float64) (plan int, cost float64)
+	// ExecuteCost returns the execution cost of running the given plan at
+	// point x (the observable the negative-feedback detector compares
+	// against the histogram cost estimate).
+	ExecuteCost(x []float64, plan int) float64
+}
+
+// OnlineConfig configures the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver.
+type OnlineConfig struct {
+	// Core configures the underlying ApproxLSHHist predictor.
+	Core Config
+	// InvocationProb is the mean random optimizer invocation probability
+	// (Section IV-D; the paper uses 5–10%). 0 disables random invocations.
+	InvocationProb float64
+	// NegativeFeedback enables the Section IV-E error detector: a
+	// prediction whose observed execution cost deviates from the histogram
+	// cost estimate by more than CostEpsilon triggers an immediate
+	// optimizer call and corrective insertion.
+	NegativeFeedback bool
+	// CostEpsilon is the relative cost error bound ε (default 0.25).
+	CostEpsilon float64
+	// WindowK is the sliding-window length k for the precision/recall
+	// estimators (default 100).
+	WindowK int
+	// PrecisionFloor triggers drift recovery: when the estimated template
+	// precision over a full window falls below this value, all histograms
+	// are dropped and sampling restarts (default 0.5; 0 disables).
+	PrecisionFloor float64
+	// DisablePrecisionFloor turns drift recovery off explicitly.
+	DisablePrecisionFloor bool
+
+	// PositiveFeedback enables the extension sketched in the paper's
+	// Section VII: predictions the framework is highly confident about are
+	// inserted back into the histograms as if optimizer-validated,
+	// shortening the training period and improving recall. Two checks and
+	// balances prevent the feedback spiral the paper warns against:
+	// insertions require confidence >= PositiveConfidence, and the number
+	// of self-labeled points may never exceed PositiveRatio times the
+	// number of optimizer-validated points.
+	PositiveFeedback bool
+	// PositiveConfidence is the confidence gate (default 0.95).
+	PositiveConfidence float64
+	// PositiveRatio caps self-labeled points relative to validated points
+	// (default 1.0).
+	PositiveRatio float64
+	// Seed drives the random invocation coin.
+	Seed int64
+}
+
+func (c OnlineConfig) withDefaults() (OnlineConfig, error) {
+	var err error
+	c.Core, err = c.Core.withDefaults()
+	if err != nil {
+		return c, err
+	}
+	if c.InvocationProb < 0 || c.InvocationProb > 1 {
+		return c, fmt.Errorf("core: InvocationProb %v out of [0,1]", c.InvocationProb)
+	}
+	if c.CostEpsilon == 0 {
+		c.CostEpsilon = 0.25
+	}
+	if c.WindowK == 0 {
+		c.WindowK = 100
+	}
+	if c.WindowK < 1 {
+		return c, fmt.Errorf("core: WindowK must be positive, got %d", c.WindowK)
+	}
+	if c.PrecisionFloor == 0 && !c.DisablePrecisionFloor {
+		c.PrecisionFloor = 0.5
+	}
+	if c.DisablePrecisionFloor {
+		c.PrecisionFloor = 0
+	}
+	if c.PositiveConfidence == 0 {
+		c.PositiveConfidence = 0.95
+	}
+	if c.PositiveConfidence < 0 || c.PositiveConfidence > 1 {
+		return c, fmt.Errorf("core: PositiveConfidence %v out of [0,1]", c.PositiveConfidence)
+	}
+	if c.PositiveRatio == 0 {
+		c.PositiveRatio = 1.0
+	}
+	if c.PositiveRatio < 0 {
+		return c, fmt.Errorf("core: PositiveRatio must be non-negative, got %v", c.PositiveRatio)
+	}
+	return c, nil
+}
+
+// Decision describes what the driver did for one query instance.
+type Decision struct {
+	// Predicted is true when the predictor emitted a NULL-free prediction.
+	Predicted bool
+	// PredictedPlan is the predictor's plan (meaningful when Predicted);
+	// experiment harnesses compare it against ground truth.
+	PredictedPlan int
+	// Plan is the plan that was (or would be) executed.
+	Plan int
+	// Confidence is the predictor's confidence (0 when NULL).
+	Confidence float64
+	// Invoked is true when the optimizer ran (NULL prediction, random
+	// invocation, or negative-feedback correction).
+	Invoked bool
+	// RandomInvocation marks an invocation forced by the random coin
+	// despite a usable prediction.
+	RandomInvocation bool
+	// FeedbackCorrection marks a prediction rejected post-execution by the
+	// cost-based error detector.
+	FeedbackCorrection bool
+	// CacheHit is true when a predicted plan was served without optimizing.
+	CacheHit bool
+	// Reset is true when drift recovery dropped the template's histograms
+	// during this step.
+	Reset bool
+	// PositiveInsertion marks a high-confidence prediction that was fed
+	// back into the histograms as a self-labeled point.
+	PositiveInsertion bool
+}
+
+// Online is the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver for one query
+// template (Sections IV-D and IV-E). Not safe for concurrent use.
+type Online struct {
+	cfg  OnlineConfig
+	pred *ApproxLSHHist
+	env  Environment
+	rng  *rand.Rand
+	est  *metrics.TemplateEstimator
+	// resets counts drift recoveries.
+	resets int
+	// validated and selfLabeled count insertions by provenance, enforcing
+	// the positive-feedback budget.
+	validated   int
+	selfLabeled int
+}
+
+// NewOnline creates an online driver for one template.
+func NewOnline(cfg OnlineConfig, env Environment) (*Online, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	pred, err := NewApproxLSHHist(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Online{
+		cfg:  cfg,
+		pred: pred,
+		env:  env,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		est:  metrics.NewTemplateEstimator(cfg.WindowK),
+	}, nil
+}
+
+// MustNewOnline is like NewOnline but panics on error.
+func MustNewOnline(cfg OnlineConfig, env Environment) *Online {
+	o, err := NewOnline(cfg, env)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Step processes one query instance at plan space point x and returns the
+// decision taken. The protocol of Section IV-D:
+//
+//  1. Ask the predictor for a plan (with its cost estimate).
+//  2. On NULL: invoke the optimizer, execute its plan, insert the labeled
+//     point into the histograms.
+//  3. On a prediction: optionally still invoke the optimizer with a
+//     probability that decreases with the prediction's confidence
+//     (randomized invocations shorten warm-up and audit the predictor);
+//     otherwise execute the predicted plan and run the negative-feedback
+//     check — if the observed cost deviates from the histogram estimate by
+//     more than ε, assume a misprediction, invoke the optimizer now and
+//     insert the corrected point.
+//
+// By default only optimizer-validated points enter the histograms; the
+// optional PositiveFeedback extension additionally reinforces very
+// confident, cost-consistent predictions within a strict budget.
+func (o *Online) Step(x []float64) Decision {
+	var d Decision
+	pred, costEst, costOK := o.pred.PredictWithCost(x)
+	d.Predicted = pred.OK
+	d.PredictedPlan = pred.Plan
+	d.Confidence = pred.Confidence
+
+	if !pred.OK {
+		o.est.RecordNull()
+		plan, cost := o.optimizeAndLearn(x)
+		d.Plan = plan
+		d.Invoked = true
+		_ = cost
+		o.maybeReset(&d)
+		return d
+	}
+
+	// Random invocation: probability scales down with confidence so highly
+	// confident predictions are audited least.
+	if o.cfg.InvocationProb > 0 {
+		p := o.cfg.InvocationProb * 2 * (1 - pred.Confidence)
+		if p > 1 {
+			p = 1
+		}
+		// Keep a floor so even confident predictions are occasionally
+		// audited at the configured mean rate.
+		if p < o.cfg.InvocationProb/2 {
+			p = o.cfg.InvocationProb / 2
+		}
+		if o.rng.Float64() < p {
+			plan, _ := o.optimizeAndLearn(x)
+			d.Plan = plan
+			d.Invoked = true
+			d.RandomInvocation = true
+			// The audit reveals ground truth for the estimator.
+			o.est.RecordPrediction(pred.Plan, plan == pred.Plan)
+			o.maybeReset(&d)
+			return d
+		}
+	}
+
+	// Serve the cached plan and watch its cost.
+	d.Plan = pred.Plan
+	d.CacheHit = true
+	observed := o.env.ExecuteCost(x, pred.Plan)
+	correct := true
+	if o.cfg.NegativeFeedback && costOK && costEst > 0 {
+		if math.Abs(observed-costEst) > o.cfg.CostEpsilon*costEst {
+			// Plan cost predictability violated: treat as misprediction
+			// (Section IV-E contrapositive), correct immediately.
+			correct = false
+			plan, _ := o.optimizeAndLearn(x)
+			d.Plan = plan
+			d.Invoked = true
+			d.FeedbackCorrection = true
+			d.CacheHit = false
+		}
+	}
+	// Positive feedback (Section VII extension): reinforce very confident,
+	// cost-consistent predictions, within the self-labeling budget.
+	if o.cfg.PositiveFeedback && correct &&
+		pred.Confidence >= o.cfg.PositiveConfidence &&
+		float64(o.selfLabeled) < o.cfg.PositiveRatio*float64(o.validated) {
+		o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: pred.Plan, Cost: observed})
+		o.selfLabeled++
+		d.PositiveInsertion = true
+	}
+	o.est.RecordPrediction(pred.Plan, correct)
+	o.maybeReset(&d)
+	return d
+}
+
+// optimizeAndLearn invokes the optimizer at x and inserts the labeled point.
+func (o *Online) optimizeAndLearn(x []float64) (int, float64) {
+	plan, cost := o.env.Optimize(x)
+	o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: plan, Cost: cost})
+	o.validated++
+	return plan, cost
+}
+
+// maybeReset performs drift recovery when the estimated precision over a
+// full window drops below the floor.
+func (o *Online) maybeReset(d *Decision) {
+	if o.cfg.PrecisionFloor <= 0 {
+		return
+	}
+	if o.est.SampleCount() < o.cfg.WindowK {
+		return
+	}
+	prec, ok := o.est.Precision()
+	if !ok {
+		return
+	}
+	if prec < o.cfg.PrecisionFloor {
+		o.pred.Reset()
+		o.est.Reset()
+		o.resets++
+		d.Reset = true
+	}
+}
+
+// Predictor exposes the underlying histogram predictor (for inspection).
+func (o *Online) Predictor() *ApproxLSHHist { return o.pred }
+
+// Estimator exposes the sliding-window estimators (Section IV-E).
+func (o *Online) Estimator() *metrics.TemplateEstimator { return o.est }
+
+// Resets returns how many drift recoveries have occurred.
+func (o *Online) Resets() int { return o.resets }
+
+// SelfLabeled returns how many points entered the histograms through
+// positive feedback (0 unless the extension is enabled).
+func (o *Online) SelfLabeled() int { return o.selfLabeled }
+
+// Validated returns how many optimizer-validated points were inserted.
+func (o *Online) Validated() int { return o.validated }
+
+// EncodeState persists the driver's learned state (the histogram synopsis
+// and insertion counters) to w. The sliding estimator windows are
+// deliberately not persisted — after a restart the framework re-estimates
+// precision from fresh predictions.
+func (o *Online) EncodeState(w io.Writer) error {
+	if err := o.pred.Encode(w); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, []int64{int64(o.validated), int64(o.selfLabeled)})
+}
+
+// DecodeState restores a driver state written by EncodeState. The restored
+// predictor must match this driver's plan space dimensionality.
+func (o *Online) DecodeState(r io.Reader) error {
+	pred, err := DecodeApproxLSHHist(r)
+	if err != nil {
+		return err
+	}
+	if pred.Config().Dims != o.cfg.Core.Dims {
+		return fmt.Errorf("core: restored state has %d dims, driver expects %d",
+			pred.Config().Dims, o.cfg.Core.Dims)
+	}
+	var counters [2]int64
+	if err := binary.Read(r, binary.LittleEndian, counters[:]); err != nil {
+		return err
+	}
+	o.pred = pred
+	o.validated = int(counters[0])
+	o.selfLabeled = int(counters[1])
+	o.est.Reset()
+	return nil
+}

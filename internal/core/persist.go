@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/histogram"
+)
+
+// Persistence of the learned synopses (Section IV-C histograms): a plan
+// cache that survives restarts keeps not only the plan trees but the plan
+// space knowledge that selects among them. The format stores the
+// predictor's configuration (the randomized transformations are
+// reconstructed deterministically from the seed) followed by every
+// (transform, plan) histogram and the per-transform marginals.
+//
+// Layout (little endian):
+//
+//	u8  version
+//	config: i64 dims, outDims, transforms, histBuckets; f64 radius, gamma,
+//	        noiseFraction; u8 noiseElim; i64 minSamples, seed
+//	i64 total points
+//	u32 transform count; per transform:
+//	  marginal histogram
+//	  u32 plan count; per plan: i64 plan id, histogram
+const persistVersion = 1
+
+// Encode writes the predictor's full state to w.
+func (p *ApproxLSHHist) Encode(w io.Writer) error {
+	le := binary.LittleEndian
+	if err := binary.Write(w, le, uint8(persistVersion)); err != nil {
+		return err
+	}
+	noise := uint8(0)
+	if p.cfg.NoiseElimination {
+		noise = 1
+	}
+	fields := []any{
+		int64(p.cfg.Dims), int64(p.cfg.OutDims), int64(p.cfg.Transforms), int64(p.cfg.HistBuckets),
+		p.cfg.Radius, p.cfg.Gamma, p.cfg.NoiseFraction, noise,
+		int64(p.cfg.MinSamples), p.cfg.Seed,
+		int64(p.total), uint32(len(p.hists)),
+	}
+	for _, f := range fields {
+		if err := binary.Write(w, le, f); err != nil {
+			return err
+		}
+	}
+	for i := range p.hists {
+		if err := p.marginals[i].Encode(w); err != nil {
+			return err
+		}
+		plans := make([]int, 0, len(p.hists[i]))
+		for plan := range p.hists[i] {
+			plans = append(plans, plan)
+		}
+		sort.Ints(plans)
+		if err := binary.Write(w, le, uint32(len(plans))); err != nil {
+			return err
+		}
+		for _, plan := range plans {
+			if err := binary.Write(w, le, int64(plan)); err != nil {
+				return err
+			}
+			if err := p.hists[i][plan].Encode(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeApproxLSHHist reconstructs a predictor previously written by
+// Encode. The randomized transformations are regenerated from the stored
+// seed, so predictions after a round trip are bit-identical.
+func DecodeApproxLSHHist(r io.Reader) (*ApproxLSHHist, error) {
+	le := binary.LittleEndian
+	var version uint8
+	if err := binary.Read(r, le, &version); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported persistence version %d", version)
+	}
+	var dims, outDims, transforms, histBuckets, minSamples, seed, total int64
+	var radius, gamma, noiseFraction float64
+	var noise uint8
+	var tCount uint32
+	for _, p := range []any{&dims, &outDims, &transforms, &histBuckets,
+		&radius, &gamma, &noiseFraction, &noise, &minSamples, &seed, &total, &tCount} {
+		if err := binary.Read(r, le, p); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		Dims: int(dims), OutDims: int(outDims), Transforms: int(transforms),
+		HistBuckets: int(histBuckets), Radius: radius, Gamma: gamma,
+		NoiseElimination: noise == 1, NoiseFraction: noiseFraction,
+		MinSamples: int(minSamples), Seed: seed,
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = -1 // preserve "disabled" through the 0-default
+	}
+	p, err := NewApproxLSHHist(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if int(tCount) != len(p.hists) {
+		return nil, fmt.Errorf("core: transform count mismatch: stored %d, config %d", tCount, len(p.hists))
+	}
+	for i := 0; i < int(tCount); i++ {
+		m, err := histogram.DecodeDynamic(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: marginal %d: %w", i, err)
+		}
+		p.marginals[i] = m
+		var nPlans uint32
+		if err := binary.Read(r, le, &nPlans); err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(nPlans); j++ {
+			var plan int64
+			if err := binary.Read(r, le, &plan); err != nil {
+				return nil, err
+			}
+			h, err := histogram.DecodeDynamic(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: histogram (%d, plan %d): %w", i, plan, err)
+			}
+			p.hists[i][int(plan)] = h
+			p.plans[int(plan)] = true
+		}
+	}
+	p.total = int(total)
+	return p, nil
+}

@@ -1,0 +1,392 @@
+package executor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+var (
+	testDB  = tpch.MustGenerate(tpch.Config{Scale: 2000, Seed: 7})
+	testCat = catalog.MustBuild(testDB, 0)
+	opt     = optimizer.New(testDB, testCat)
+	exec    = New(testDB)
+)
+
+// bruteForceCount evaluates a COUNT(*) SPJ query directly: filter each
+// table, then fold hash joins in template order. Independent of the
+// executor's operator implementations.
+func bruteForceCount(t *testing.T, q *optimizer.Query, params []float64) float64 {
+	t.Helper()
+	preds := make([]optimizer.Predicate, len(q.Preds))
+	copy(preds, q.Preds)
+	for i := range preds {
+		if preds[i].Kind == optimizer.PredCmpNum && preds[i].ParamIdx >= 0 {
+			preds[i].Value = params[preds[i].ParamIdx]
+		}
+	}
+	// Filtered row index sets per alias.
+	rowsOf := make(map[string][]int32)
+	for _, tr := range q.Tables {
+		tb := testDB.MustTable(tr.Table)
+		var keep []int32
+		for i := int32(0); i < int32(tb.NumRows()); i++ {
+			ok := true
+			for _, p := range preds {
+				if p.Kind == optimizer.PredJoin || p.Col.Alias != tr.Alias {
+					continue
+				}
+				col := tb.MustColumn(p.Col.Column)
+				switch p.Kind {
+				case optimizer.PredCmpNum:
+					v := col.Nums[i]
+					switch p.Op {
+					case optimizer.OpLE:
+						ok = v <= p.Value
+					case optimizer.OpGE:
+						ok = v >= p.Value
+					case optimizer.OpLT:
+						ok = v < p.Value
+					case optimizer.OpGT:
+						ok = v > p.Value
+					case optimizer.OpEq:
+						ok = v == p.Value
+					}
+				case optimizer.PredCmpStr:
+					ok = col.Strs[i] == p.StrValue
+				case optimizer.PredBetween:
+					v := col.Nums[i]
+					ok = v >= p.Lo && v <= p.Hi
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, i)
+			}
+		}
+		rowsOf[tr.Alias] = keep
+	}
+	// Tuples: alias -> row id, folded left to right over q.Tables.
+	type tuple map[string]int32
+	acc := []tuple{}
+	for _, r := range rowsOf[q.Tables[0].Alias] {
+		acc = append(acc, tuple{q.Tables[0].Alias: r})
+	}
+	joined := map[string]bool{q.Tables[0].Alias: true}
+	colVal := func(alias string, col string, row int32) float64 {
+		tr := q.Binding(alias)
+		return testDB.MustTable(tr.Table).MustColumn(col).Nums[row]
+	}
+	for _, tr := range q.Tables[1:] {
+		// Join predicates connecting tr to the joined set.
+		var conns []optimizer.Predicate
+		for _, p := range preds {
+			if p.Kind != optimizer.PredJoin {
+				continue
+			}
+			if p.Col.Alias == tr.Alias && joined[p.RightCol.Alias] {
+				conns = append(conns, optimizer.Predicate{Kind: optimizer.PredJoin, Col: p.RightCol, RightCol: p.Col})
+			} else if p.RightCol.Alias == tr.Alias && joined[p.Col.Alias] {
+				conns = append(conns, p)
+			}
+		}
+		var next []tuple
+		for _, tu := range acc {
+			for _, r := range rowsOf[tr.Alias] {
+				ok := true
+				for _, c := range conns {
+					if colVal(c.Col.Alias, c.Col.Column, tu[c.Col.Alias]) != colVal(tr.Alias, c.RightCol.Column, r) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					nt := tuple{}
+					for k, v := range tu {
+						nt[k] = v
+					}
+					nt[tr.Alias] = r
+					next = append(next, nt)
+				}
+			}
+		}
+		acc = next
+		joined[tr.Alias] = true
+	}
+	return float64(len(acc))
+}
+
+// countFromResult extracts the total COUNT(*) from a result: the count
+// column of a global aggregate, or the sum of per-group counts.
+func countFromResult(t *testing.T, q *optimizer.Query, res *Result) float64 {
+	t.Helper()
+	countPos := -1
+	for i, item := range q.Select {
+		if item.Agg == optimizer.AggCount {
+			countPos = len(q.GroupBy) + aggOrdinal(q, i)
+			break
+		}
+	}
+	if countPos == -1 {
+		t.Fatal("query has no COUNT aggregate")
+	}
+	var total float64
+	for _, row := range res.Rows {
+		total += row[countPos].Num
+	}
+	return total
+}
+
+// aggOrdinal returns the position of select item i among the aggregates.
+func aggOrdinal(q *optimizer.Query, i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		if q.Select[j].Agg != optimizer.AggNone {
+			n++
+		}
+	}
+	return n
+}
+
+func TestOptimizedPlansMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, name := range []string{"Q0", "Q1", "Q2", "Q3", "Q5"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tm, err := queries.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 4; trial++ {
+				point := make([]float64, tm.Degree())
+				for j := range point {
+					point[j] = 0.05 + rng.Float64()*0.5
+				}
+				inst, err := opt.InstanceAt(tm, point)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := opt.OptimizeInstance(inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := exec.Run(plan)
+				if err != nil {
+					t.Fatalf("plan failed: %v\n%s", err, plan)
+				}
+				got := countFromResult(t, tm.Query, res)
+				want := bruteForceCount(t, tm.Query, inst.Values)
+				if got != want {
+					t.Errorf("trial %d point %v: plan count %v, brute force %v\nplan:\n%s",
+						trial, point, got, want, plan)
+				}
+			}
+		})
+	}
+}
+
+// Different physical plans for the same instance must produce identical
+// results. We force plan diversity by optimizing at different parameter
+// values and re-instantiating bounds at the test point.
+func TestPlanShapeInvariance(t *testing.T) {
+	tm, err := queries.ByName("Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPoint := []float64{0.3, 0.3}
+	inst, err := opt.InstanceAt(tm, testPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceCount(t, tm.Query, inst.Values)
+	seen := map[string]bool{}
+	for _, probe := range [][]float64{{0.01, 0.01}, {0.01, 0.99}, {0.99, 0.01}, {0.99, 0.99}, {0.5, 0.5}} {
+		pInst, err := opt.InstanceAt(tm, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape, err := opt.OptimizeInstance(pInst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[shape.Fingerprint] {
+			continue
+		}
+		seen[shape.Fingerprint] = true
+		// Re-instantiate this plan shape at the test point's values by
+		// rewriting instantiated literals in the plan tree.
+		reinstantiate(shape.Root, tm, inst.Values)
+		res, err := exec.Run(shape)
+		if err != nil {
+			t.Fatalf("plan %s failed: %v", shape.Fingerprint, err)
+		}
+		got := countFromResult(t, tm.Query, res)
+		if got != want {
+			t.Errorf("plan %s: count %v, want %v", shape.Fingerprint, got, want)
+		}
+	}
+	if len(seen) < 2 {
+		t.Skip("could not force multiple plan shapes")
+	}
+}
+
+// reinstantiate rewrites the parameterized literals in a plan tree with new
+// parameter values (matching filters by ParamIdx, and index bounds by the
+// driving parameterized predicate).
+func reinstantiate(n *optimizer.Node, tm *optimizer.Template, values []float64) {
+	if n == nil {
+		return
+	}
+	for i := range n.Filters {
+		if n.Filters[i].ParamIdx >= 0 {
+			n.Filters[i].Value = values[n.Filters[i].ParamIdx]
+		}
+	}
+	if n.Op == optimizer.OpIndexScan {
+		for p := 0; p < tm.Degree(); p++ {
+			pred := tm.ParamPredicate(p)
+			if pred.Col.Alias == n.Alias && pred.Col.Column == n.IndexCol {
+				switch pred.Op {
+				case optimizer.OpLE, optimizer.OpLT:
+					n.IndexHi = values[p]
+				case optimizer.OpGE, optimizer.OpGT:
+					n.IndexLo = values[p]
+				}
+			}
+		}
+	}
+	reinstantiate(n.Left, tm, values)
+	reinstantiate(n.Right, tm, values)
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	sql := `SELECT COUNT(*), SUM(l_quantity), AVG(l_quantity), MIN(l_quantity), MAX(l_quantity)
+	        FROM lineitem WHERE l_shipdate <= ?`
+	q, err := parseForTest(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := testCat.MustColumn("lineitem", "l_shipdate").Quantile(0.5)
+	plan, err := opt.Optimize(q, []float64{cutoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("global aggregate returned %d rows", len(res.Rows))
+	}
+	// Direct computation.
+	li := testDB.MustTable("lineitem")
+	dates := li.MustColumn("l_shipdate").Nums
+	qty := li.MustColumn("l_quantity").Nums
+	var count, sum, minV, maxV float64
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for i := range dates {
+		if dates[i] <= cutoff {
+			count++
+			sum += qty[i]
+			minV = math.Min(minV, qty[i])
+			maxV = math.Max(maxV, qty[i])
+		}
+	}
+	row := res.Rows[0]
+	if row[0].Num != count || math.Abs(row[1].Num-sum) > 1e-6 ||
+		math.Abs(row[2].Num-sum/count) > 1e-9 || row[3].Num != minV || row[4].Num != maxV {
+		t.Errorf("aggregates = %v, want count=%v sum=%v avg=%v min=%v max=%v",
+			row, count, sum, sum/count, minV, maxV)
+	}
+}
+
+func TestEmptyResultGlobalAggregate(t *testing.T) {
+	q, err := parseForTest("SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.Optimize(q, []float64{-1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 0 {
+		t.Errorf("empty aggregate = %+v, want single zero row", res.Rows)
+	}
+}
+
+func TestGroupByProducesGroups(t *testing.T) {
+	tm, err := queries.ByName("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := opt.InstanceAt(tm, []float64{0.8, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.OptimizeInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("expected multiple supplier groups, got %d", len(res.Rows))
+	}
+	// Group keys must be unique.
+	seen := map[float64]bool{}
+	for _, row := range res.Rows {
+		k := row[0].Num
+		if seen[k] {
+			t.Fatalf("duplicate group key %v", k)
+		}
+		seen[k] = true
+		if row[1].Num < 1 {
+			t.Fatalf("group %v has count %v", k, row[1].Num)
+		}
+	}
+}
+
+func TestStringFilterExecution(t *testing.T) {
+	q, err := parseForTest("SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING' AND c_date <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := testCat.MustColumn("customer", "c_date").Quantile(0.7)
+	plan, err := opt.Optimize(q, []float64{cutoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust := testDB.MustTable("customer")
+	segs := cust.MustColumn("c_mktsegment").Strs
+	dates := cust.MustColumn("c_date").Nums
+	var want float64
+	for i := range segs {
+		if segs[i] == "BUILDING" && dates[i] <= cutoff {
+			want++
+		}
+	}
+	if got := res.Rows[0][0].Num; got != want {
+		t.Errorf("count = %v, want %v", got, want)
+	}
+}
+
+func parseForTest(sql string) (*optimizer.Query, error) {
+	return parseSQL(sql)
+}

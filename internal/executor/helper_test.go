@@ -1,0 +1,12 @@
+package executor
+
+import (
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+	"repro/internal/sqlparse"
+)
+
+// parseSQL parses ad-hoc test queries against the standard schema.
+func parseSQL(sql string) (*optimizer.Query, error) {
+	return sqlparse.Parse(sql, queries.Schema)
+}

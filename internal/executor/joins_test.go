@@ -1,0 +1,186 @@
+package executor
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// forceJoinPlan builds a two-table join plan with the requested join
+// method over orders ⋈ customer, with a date filter on customer.
+func forceJoinPlan(t *testing.T, method optimizer.OpKind, buildLeft bool) *optimizer.Plan {
+	t.Helper()
+	cutoff := testCat.MustColumn("customer", "c_date").Quantile(0.6)
+	filter := optimizer.Predicate{
+		Kind: optimizer.PredCmpNum,
+		Col:  optimizer.ColRef{Alias: "c", Column: "c_date"},
+		Op:   optimizer.OpLE, Value: cutoff, ParamIdx: -1,
+	}
+	left := &optimizer.Node{
+		Op: optimizer.OpSeqScan, Table: "customer", Alias: "c",
+		Filters: []optimizer.Predicate{filter},
+	}
+	var right *optimizer.Node
+	switch method {
+	case optimizer.OpIndexNLJoin:
+		right = &optimizer.Node{
+			Op: optimizer.OpIndexScan, Table: "orders", Alias: "o",
+			IndexCol: "o_custkey",
+		}
+	default:
+		right = &optimizer.Node{Op: optimizer.OpSeqScan, Table: "orders", Alias: "o"}
+	}
+	root := &optimizer.Node{
+		Op:       method,
+		Left:     left,
+		Right:    right,
+		LeftCol:  optimizer.ColRef{Alias: "c", Column: "c_custkey"},
+		RightCol: optimizer.ColRef{Alias: "o", Column: "o_custkey"},
+	}
+	if method == optimizer.OpHashJoin {
+		root.BuildLeft = buildLeft
+	}
+	return &optimizer.Plan{Root: root, Fingerprint: optimizer.FingerprintOf(root)}
+}
+
+// resultSignature canonicalizes a result for cross-method comparison:
+// sorted list of (custkey, orderkey) pairs.
+func resultSignature(t *testing.T, res *Result) [][2]float64 {
+	t.Helper()
+	cPos := res.Schema.Pos(optimizer.ColRef{Alias: "c", Column: "c_custkey"})
+	oPos := res.Schema.Pos(optimizer.ColRef{Alias: "o", Column: "o_orderkey"})
+	if cPos < 0 || oPos < 0 {
+		t.Fatalf("missing join columns in schema %v", res.Schema)
+	}
+	out := make([][2]float64, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = [2]float64{row[cPos].Num, row[oPos].Num}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// All four physical join strategies must produce identical result sets.
+func TestJoinMethodEquivalence(t *testing.T) {
+	reference := resultSignature(t, mustRun(t, forceJoinPlan(t, optimizer.OpHashJoin, false)))
+	if len(reference) == 0 {
+		t.Fatal("reference join produced no rows")
+	}
+	variants := map[string]*optimizer.Plan{
+		"hash-build-left": forceJoinPlan(t, optimizer.OpHashJoin, true),
+		"merge":           forceJoinPlan(t, optimizer.OpMergeJoin, false),
+		"index-nl":        forceJoinPlan(t, optimizer.OpIndexNLJoin, false),
+	}
+	for name, plan := range variants {
+		got := resultSignature(t, mustRun(t, plan))
+		if len(got) != len(reference) {
+			t.Errorf("%s: %d rows, want %d", name, len(got), len(reference))
+			continue
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				t.Errorf("%s: row %d = %v, want %v", name, i, got[i], reference[i])
+				break
+			}
+		}
+	}
+}
+
+// A nested-loop join with the equi-join predicate as a residual filter is
+// semantically a cross join + filter; it must agree with the hash join.
+func TestNLJoinWithFilterMatchesHashJoin(t *testing.T) {
+	reference := resultSignature(t, mustRun(t, forceJoinPlan(t, optimizer.OpHashJoin, false)))
+	cutoff := testCat.MustColumn("customer", "c_date").Quantile(0.6)
+	left := &optimizer.Node{
+		Op: optimizer.OpSeqScan, Table: "customer", Alias: "c",
+		Filters: []optimizer.Predicate{{
+			Kind: optimizer.PredCmpNum,
+			Col:  optimizer.ColRef{Alias: "c", Column: "c_date"},
+			Op:   optimizer.OpLE, Value: cutoff, ParamIdx: -1,
+		}},
+	}
+	right := &optimizer.Node{Op: optimizer.OpSeqScan, Table: "orders", Alias: "o"}
+	root := &optimizer.Node{
+		Op: optimizer.OpNLJoin, Left: left, Right: right,
+		Filters: []optimizer.Predicate{{
+			Kind:     optimizer.PredJoin,
+			Col:      optimizer.ColRef{Alias: "c", Column: "c_custkey"},
+			RightCol: optimizer.ColRef{Alias: "o", Column: "o_custkey"},
+		}},
+	}
+	got := resultSignature(t, mustRun(t, &optimizer.Plan{Root: root}))
+	if len(got) != len(reference) {
+		t.Fatalf("nl+filter: %d rows, want %d", len(got), len(reference))
+	}
+	for i := range got {
+		if got[i] != reference[i] {
+			t.Fatalf("nl+filter: row %d = %v, want %v", i, got[i], reference[i])
+		}
+	}
+}
+
+// Index scans with one-sided and unbounded ranges behave like filters.
+func TestIndexScanBounds(t *testing.T) {
+	col := testCat.MustColumn("orders", "o_orderdate")
+	lo, hi := col.Quantile(0.2), col.Quantile(0.7)
+	scan := &optimizer.Node{
+		Op: optimizer.OpIndexScan, Table: "orders", Alias: "o",
+		IndexCol: "o_orderdate", IndexLo: lo, IndexHi: hi,
+	}
+	res := mustRun(t, &optimizer.Plan{Root: scan})
+	datePos := res.Schema.Pos(optimizer.ColRef{Alias: "o", Column: "o_orderdate"})
+	var want int
+	for _, v := range testDB.MustTable("orders").MustColumn("o_orderdate").Nums {
+		if v >= lo && v <= hi {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Errorf("index range scan returned %d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if v := row[datePos].Num; v < lo || v > hi {
+			t.Fatalf("row outside range: %v", v)
+		}
+	}
+}
+
+func TestExecutorErrorPaths(t *testing.T) {
+	bad := []*optimizer.Node{
+		{Op: optimizer.OpSeqScan, Table: "nope", Alias: "n"},
+		{Op: optimizer.OpIndexScan, Table: "orders", Alias: "o", IndexCol: "no_such_index"},
+		{Op: optimizer.OpKind(99)},
+	}
+	for i, root := range bad {
+		if _, err := exec.Run(&optimizer.Plan{Root: root}); err == nil {
+			t.Errorf("plan %d should fail", i)
+		}
+	}
+	// Filter on a column missing from the schema.
+	root := &optimizer.Node{
+		Op: optimizer.OpSeqScan, Table: "orders", Alias: "o",
+		Filters: []optimizer.Predicate{{
+			Kind: optimizer.PredCmpNum,
+			Col:  optimizer.ColRef{Alias: "x", Column: "bogus"},
+			Op:   optimizer.OpLE, Value: 1, ParamIdx: -1,
+		}},
+	}
+	if _, err := exec.Run(&optimizer.Plan{Root: root}); err == nil {
+		t.Error("unresolvable filter should fail")
+	}
+}
+
+func mustRun(t *testing.T, plan *optimizer.Plan) *Result {
+	t.Helper()
+	res, err := exec.Run(plan)
+	if err != nil {
+		t.Fatalf("plan failed: %v", err)
+	}
+	return res
+}

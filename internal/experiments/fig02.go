@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig2Config configures the plan space visualization of Figure 2: the
+// optimizer's plan choice over a grid of selectivity points for a
+// two-parameter template.
+type Fig2Config struct {
+	// Template must have parameter degree 2 (default Q1).
+	Template string
+	// Resolution is the grid resolution per axis (default 32).
+	Resolution int
+	Frac       float64
+	Seed       int64
+}
+
+func (c Fig2Config) withDefaults() Fig2Config {
+	if c.Template == "" {
+		c.Template = "Q1"
+	}
+	if c.Resolution == 0 {
+		c.Resolution = 32
+	}
+	c.Resolution = scaleInt(c.Resolution, c.Frac, 8)
+	return c
+}
+
+// Fig2Result is a plan diagram: Grid[row][col] is the plan id at
+// (selectivity1, selectivity2) = ((col+0.5)/res, (row+0.5)/res).
+type Fig2Result struct {
+	Template   string
+	Resolution int
+	Grid       [][]int
+	PlanCount  int
+}
+
+// RunFig2 probes the optimizer on a grid over the template's 2-D plan
+// space, reproducing the plan diagram of Figure 2.
+func RunFig2(env *Env, cfg Fig2Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	tmpl, err := env.Template(cfg.Template)
+	if err != nil {
+		return nil, err
+	}
+	if tmpl.Degree() != 2 {
+		return nil, fmt.Errorf("experiments: fig2 needs a 2-parameter template, %s has %d", cfg.Template, tmpl.Degree())
+	}
+	oracle := NewOracle(env, tmpl)
+	res := &Fig2Result{Template: cfg.Template, Resolution: cfg.Resolution}
+	res.Grid = make([][]int, cfg.Resolution)
+	for row := 0; row < cfg.Resolution; row++ {
+		res.Grid[row] = make([]int, cfg.Resolution)
+		for col := 0; col < cfg.Resolution; col++ {
+			x := []float64{
+				(float64(col) + 0.5) / float64(cfg.Resolution),
+				(float64(row) + 0.5) / float64(cfg.Resolution),
+			}
+			plan, _, err := oracle.Label(x)
+			if err != nil {
+				return nil, err
+			}
+			res.Grid[row][col] = plan
+		}
+	}
+	res.PlanCount = oracle.DistinctPlans()
+	return res, nil
+}
+
+// Regions counts the number of 4-connected monochrome regions in the
+// diagram — a measure of plan space fragmentation.
+func (r *Fig2Result) Regions() int {
+	res := r.Resolution
+	seen := make([][]bool, res)
+	for i := range seen {
+		seen[i] = make([]bool, res)
+	}
+	regions := 0
+	var stack [][2]int
+	for i := 0; i < res; i++ {
+		for j := 0; j < res; j++ {
+			if seen[i][j] {
+				continue
+			}
+			regions++
+			plan := r.Grid[i][j]
+			stack = append(stack[:0], [2]int{i, j})
+			seen[i][j] = true
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					ni, nj := c[0]+d[0], c[1]+d[1]
+					if ni < 0 || nj < 0 || ni >= res || nj >= res || seen[ni][nj] || r.Grid[ni][nj] != plan {
+						continue
+					}
+					seen[ni][nj] = true
+					stack = append(stack, [2]int{ni, nj})
+				}
+			}
+		}
+	}
+	return regions
+}
+
+// planGlyphs maps plan ids to printable glyphs.
+const planGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ*#@%&+=~"
+
+// Table renders the diagram as rows of glyphs (row 0 = selectivity2 near 1,
+// matching the usual plan diagram orientation).
+func (r *Fig2Result) Table() *Table {
+	t := &Table{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("Plan space of %s (each glyph = one plan; %d plans, %d regions)", r.Template, r.PlanCount, r.Regions()),
+		Header: []string{"sel2\\sel1 ->"},
+	}
+	for row := r.Resolution - 1; row >= 0; row-- {
+		var b strings.Builder
+		for col := 0; col < r.Resolution; col++ {
+			p := r.Grid[row][col]
+			if p < len(planGlyphs) {
+				b.WriteByte(planGlyphs[p])
+			} else {
+				b.WriteByte('?')
+			}
+		}
+		t.Rows = append(t.Rows, []string{b.String()})
+	}
+	t.Notes = append(t.Notes, "paper shape: multiple contiguous, irregular optimality regions")
+	return t
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Fig14Config configures the Appendix B validation of the predictability
+// assumptions: Assumption 1 (plan choice predictability — nearby points
+// usually share a plan) and Assumption 2 (plan cost predictability —
+// same-plan neighbours have similar costs).
+type Fig14Config struct {
+	// Templates to validate (default Q0–Q5, as in the paper).
+	Templates []string
+	// TestPoints per template (paper: 200) and Neighbors per test point
+	// (paper: 1000).
+	TestPoints int
+	Neighbors  int
+	// Radii is the sweep of the pairing distance d.
+	Radii []float64
+	// CostEpsilon is the Assumption 2 bound ε (default 0.25).
+	CostEpsilon float64
+	Frac        float64
+	Seed        int64
+}
+
+func (c Fig14Config) withDefaults() Fig14Config {
+	if len(c.Templates) == 0 {
+		c.Templates = []string{"Q0", "Q1", "Q2", "Q3", "Q4", "Q5"}
+	}
+	if c.TestPoints == 0 {
+		c.TestPoints = 200
+	}
+	if c.Neighbors == 0 {
+		c.Neighbors = 1000
+	}
+	if len(c.Radii) == 0 {
+		c.Radii = []float64{0.025, 0.05, 0.1, 0.15, 0.2}
+	}
+	if c.CostEpsilon == 0 {
+		c.CostEpsilon = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 2012
+	}
+	// The neighbour probing is optimizer-call heavy; scale aggressively.
+	c.TestPoints = scaleInt(c.TestPoints, c.Frac, 10)
+	c.Neighbors = scaleInt(c.Neighbors, c.Frac, 10)
+	return c
+}
+
+// Fig14Row is one (template, d) measurement.
+type Fig14Row struct {
+	Template string
+	Radius   float64
+	// SamePlanProb is the empirical P(plan(x1) == plan(x2) | dist <= d);
+	// LowerCI is its 95% confidence lower bound (the paper plots this).
+	SamePlanProb float64
+	LowerCI      float64
+	// CostWithinEps is, among same-plan pairs, the fraction whose costs
+	// differ by at most a (1+ε) factor (Assumption 2).
+	CostWithinEps float64
+	Pairs         int
+}
+
+// Fig14Result validates the assumptions.
+type Fig14Result struct {
+	Rows        []Fig14Row
+	CostEpsilon float64
+}
+
+// RunFig14 reproduces Figure 14: pairs of points at distance <= d are
+// labeled by the optimizer, and the probability of plan agreement (with a
+// 95% CI lower bound) is reported as d varies, together with the
+// cost-predictability fraction among agreeing pairs.
+func RunFig14(env *Env, cfg Fig14Config) (*Fig14Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig14Result{CostEpsilon: cfg.CostEpsilon}
+	for _, name := range cfg.Templates {
+		tmpl, err := env.Template(name)
+		if err != nil {
+			return nil, err
+		}
+		oracle := NewOracle(env, tmpl)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(len(name))*17))
+		for _, d := range cfg.Radii {
+			var pairs, same, costOK int
+			for tp := 0; tp < cfg.TestPoints; tp++ {
+				x := make([]float64, tmpl.Degree())
+				for j := range x {
+					x[j] = rng.Float64()
+				}
+				planX, costX, err := oracle.Label(x)
+				if err != nil {
+					return nil, err
+				}
+				for nb := 0; nb < cfg.Neighbors/cfg.TestPoints+1; nb++ {
+					y := neighborWithin(rng, x, d)
+					planY, costY, err := oracle.Label(y)
+					if err != nil {
+						return nil, err
+					}
+					pairs++
+					if planX == planY {
+						same++
+						lo, hi := math.Min(costX, costY), math.Max(costX, costY)
+						if lo <= 0 || hi <= (1+cfg.CostEpsilon)*lo {
+							costOK++
+						}
+					}
+				}
+			}
+			p := float64(same) / float64(pairs)
+			// Normal-approximation 95% lower confidence bound.
+			ci := 1.96 * math.Sqrt(p*(1-p)/float64(pairs))
+			costFrac := 1.0
+			if same > 0 {
+				costFrac = float64(costOK) / float64(same)
+			}
+			res.Rows = append(res.Rows, Fig14Row{
+				Template: name, Radius: d,
+				SamePlanProb: p, LowerCI: math.Max(0, p-ci),
+				CostWithinEps: costFrac, Pairs: pairs,
+			})
+		}
+	}
+	return res, nil
+}
+
+// neighborWithin samples a point uniformly from the ball of radius d around
+// x (clamped to the unit cube) by rejection from the bounding box.
+func neighborWithin(rng *rand.Rand, x []float64, d float64) []float64 {
+	for {
+		y := make([]float64, len(x))
+		var distSq float64
+		for j := range y {
+			off := (rng.Float64()*2 - 1) * d
+			y[j] = x[j] + off
+			distSq += off * off
+		}
+		if distSq > d*d {
+			continue
+		}
+		for j := range y {
+			if y[j] < 0 {
+				y[j] = 0
+			}
+			if y[j] > 1 {
+				y[j] = 1
+			}
+		}
+		return y
+	}
+}
+
+// Table renders the validation.
+func (r *Fig14Result) Table() *Table {
+	t := &Table{
+		ID:    "fig14",
+		Title: "Experimental validation of plan choice & cost predictability (Appendix B)",
+		Header: []string{"template", "d", "P(same plan)", "95% CI lower",
+			fmt.Sprintf("P(cost within 1+%.2f | same plan)", r.CostEpsilon), "pairs"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Template, f3(row.Radius), f3(row.SamePlanProb), f3(row.LowerCI),
+			f3(row.CostWithinEps), fmt.Sprint(row.Pairs),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: P(same plan) high at small d and decreasing in d")
+	return t
+}

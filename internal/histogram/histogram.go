@@ -1,0 +1,378 @@
+// Package histogram implements the "database histograms" of Section IV-C:
+// unidimensional synopses that store, per bucket, a point count and an
+// average plan cost. The PPC framework allocates one histogram per
+// (randomized transformation, query plan) pair and answers density and
+// cost queries with range lookups over the z-order-linearized coordinate.
+//
+// Two families are provided:
+//
+//   - Static construction from a sample (equi-width, equi-depth, and a
+//     max-diff builder that places boundaries at the largest value gaps,
+//     the classic error-minimizing heuristic). These also serve as the
+//     column statistics of the catalog substrate.
+//
+//   - Dynamic, a bounded-bucket histogram supporting online insertion with
+//     split/merge maintenance, used by ONLINE-APPROXIMATE-LSH-HISTOGRAMS
+//     where plan space points arrive one at a time.
+//
+// All histograms expose interpolated range queries under the standard
+// uniform-within-bucket assumption, and report their storage footprint
+// using the paper's accounting (Section IV-C: 12 bytes per bucket — a
+// 32-bit boundary, a 32-bit count and a 32-bit average cost).
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket is a half-open interval [Lo, Hi) with a point count and the sum of
+// the costs of the points that fell in it. The average cost of the bucket
+// is CostSum/Count.
+type Bucket struct {
+	Lo, Hi  float64
+	Count   float64
+	CostSum float64
+}
+
+// AvgCost returns the bucket's average cost, or 0 if the bucket is empty.
+func (b Bucket) AvgCost() float64 {
+	if b.Count <= 0 {
+		return 0
+	}
+	return b.CostSum / b.Count
+}
+
+// Width returns Hi - Lo.
+func (b Bucket) Width() float64 { return b.Hi - b.Lo }
+
+// BytesPerBucket is the paper's storage accounting for one histogram
+// bucket: a 4-byte boundary, a 4-byte count and a 4-byte average cost.
+const BytesPerBucket = 12
+
+// Histogram is an immutable static histogram over a closed domain.
+type Histogram struct {
+	buckets []Bucket
+	total   float64
+}
+
+// Buckets returns the bucket slice (callers must not modify it).
+func (h *Histogram) Buckets() []Bucket { return h.buckets }
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// TotalCount returns the total number of points summarized.
+func (h *Histogram) TotalCount() float64 { return h.total }
+
+// MemoryBytes returns the storage footprint under the paper's accounting.
+func (h *Histogram) MemoryBytes() int { return len(h.buckets) * BytesPerBucket }
+
+// Domain returns the histogram's [lo, hi] domain. It returns zeros for an
+// empty histogram.
+func (h *Histogram) Domain() (lo, hi float64) {
+	if len(h.buckets) == 0 {
+		return 0, 0
+	}
+	return h.buckets[0].Lo, h.buckets[len(h.buckets)-1].Hi
+}
+
+// RangeCount estimates the number of points in [lo, hi] by summing fully
+// covered buckets and linearly interpolating partially covered ones.
+func (h *Histogram) RangeCount(lo, hi float64) float64 {
+	return rangeCount(h.buckets, lo, hi)
+}
+
+// RangeCost estimates the total cost and count of points in [lo, hi]; the
+// average cost over the range is cost/count when count > 0.
+func (h *Histogram) RangeCost(lo, hi float64) (cost, count float64) {
+	return rangeCost(h.buckets, lo, hi)
+}
+
+// RangeAvgCost estimates the average cost of points in [lo, hi]. The second
+// return value is false when the estimated count is zero.
+func (h *Histogram) RangeAvgCost(lo, hi float64) (float64, bool) {
+	cost, count := h.RangeCost(lo, hi)
+	if count <= 0 {
+		return 0, false
+	}
+	return cost / count, true
+}
+
+// FractionLE estimates the fraction of points with value <= v — the
+// selectivity of a range predicate under this histogram.
+func (h *Histogram) FractionLE(v float64) float64 {
+	if h.total <= 0 {
+		return 0
+	}
+	lo, _ := h.Domain()
+	return h.RangeCount(lo, v) / h.total
+}
+
+// Quantile returns the smallest value v such that approximately a fraction
+// p of points satisfy value <= v, using in-bucket linear interpolation.
+// p is clamped to [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	lo, hi := h.Domain()
+	if h.total <= 0 || len(h.buckets) == 0 {
+		return lo
+	}
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return hi
+	}
+	target := p * h.total
+	var cum float64
+	for _, b := range h.buckets {
+		if cum+b.Count >= target {
+			if b.Count <= 0 {
+				return b.Lo
+			}
+			frac := (target - cum) / b.Count
+			return b.Lo + frac*b.Width()
+		}
+		cum += b.Count
+	}
+	return hi
+}
+
+// shared range arithmetic over a sorted bucket slice.
+
+func overlapFrac(b Bucket, lo, hi float64) float64 {
+	if b.Width() <= 0 {
+		// Degenerate bucket: counts fully if its point lies in range.
+		if b.Lo >= lo && b.Lo <= hi {
+			return 1
+		}
+		return 0
+	}
+	l := math.Max(b.Lo, lo)
+	r := math.Min(b.Hi, hi)
+	if r <= l {
+		return 0
+	}
+	return (r - l) / b.Width()
+}
+
+func rangeCount(buckets []Bucket, lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	// Treat the closed query [lo, hi] as [lo, hi+ulp) so that one-ulp
+	// buckets created for duplicate values at hi are fully counted.
+	hi = math.Nextafter(hi, math.Inf(1))
+	var sum float64
+	for i := bucketSearch(buckets, lo); i < len(buckets); i++ {
+		b := buckets[i]
+		if b.Lo > hi {
+			break
+		}
+		sum += b.Count * overlapFrac(b, lo, hi)
+	}
+	return sum
+}
+
+func rangeCost(buckets []Bucket, lo, hi float64) (cost, count float64) {
+	if hi < lo {
+		return 0, 0
+	}
+	hi = math.Nextafter(hi, math.Inf(1))
+	for i := bucketSearch(buckets, lo); i < len(buckets); i++ {
+		b := buckets[i]
+		if b.Lo > hi {
+			break
+		}
+		f := overlapFrac(b, lo, hi)
+		count += b.Count * f
+		cost += b.CostSum * f
+	}
+	return cost, count
+}
+
+// bucketSearch returns the index of the first bucket whose Hi > lo, i.e.
+// the first bucket that can overlap a range starting at lo.
+func bucketSearch(buckets []Bucket, lo float64) int {
+	return sort.Search(len(buckets), func(i int) bool { return buckets[i].Hi > lo })
+}
+
+// --- Static builders -------------------------------------------------------
+
+// sample pairs a value with its cost; builders accept nil costs.
+func pairAndSort(values, costs []float64) ([]float64, []float64, error) {
+	if costs != nil && len(costs) != len(values) {
+		return nil, nil, fmt.Errorf("histogram: %d values but %d costs", len(values), len(costs))
+	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	var cs []float64
+	if costs == nil {
+		cs = make([]float64, len(values))
+	} else {
+		cs = make([]float64, len(costs))
+		copy(cs, costs)
+	}
+	idx := make([]int, len(vs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vs[idx[a]] < vs[idx[b]] })
+	sv := make([]float64, len(vs))
+	sc := make([]float64, len(vs))
+	for i, j := range idx {
+		sv[i] = vs[j]
+		sc[i] = cs[j]
+	}
+	return sv, sc, nil
+}
+
+// BuildEquiWidth builds a histogram with nbuckets equal-width buckets over
+// [lo, hi]. costs may be nil. Values outside [lo, hi] are clamped into the
+// first/last bucket.
+func BuildEquiWidth(values, costs []float64, nbuckets int, lo, hi float64) (*Histogram, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("histogram: nbuckets must be positive, got %d", nbuckets)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("histogram: invalid domain [%v, %v]", lo, hi)
+	}
+	if costs != nil && len(costs) != len(values) {
+		return nil, fmt.Errorf("histogram: %d values but %d costs", len(values), len(costs))
+	}
+	width := (hi - lo) / float64(nbuckets)
+	buckets := make([]Bucket, nbuckets)
+	for i := range buckets {
+		buckets[i].Lo = lo + float64(i)*width
+		buckets[i].Hi = lo + float64(i+1)*width
+	}
+	buckets[nbuckets-1].Hi = hi
+	for i, v := range values {
+		j := int((v - lo) / width)
+		if j < 0 {
+			j = 0
+		}
+		if j >= nbuckets {
+			j = nbuckets - 1
+		}
+		buckets[j].Count++
+		if costs != nil {
+			buckets[j].CostSum += costs[i]
+		}
+	}
+	return &Histogram{buckets: buckets, total: float64(len(values))}, nil
+}
+
+// BuildEquiDepth builds a histogram whose buckets each hold approximately
+// the same number of points. costs may be nil. It requires at least one
+// value.
+func BuildEquiDepth(values, costs []float64, nbuckets int) (*Histogram, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("histogram: nbuckets must be positive, got %d", nbuckets)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histogram: no values")
+	}
+	sv, sc, err := pairAndSort(values, costs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sv)
+	if nbuckets > n {
+		nbuckets = n
+	}
+	buckets := make([]Bucket, 0, nbuckets)
+	per := float64(n) / float64(nbuckets)
+	start := 0
+	for k := 0; k < nbuckets; k++ {
+		end := int(math.Round(per * float64(k+1)))
+		if k == nbuckets-1 {
+			end = n
+		}
+		if end <= start {
+			continue
+		}
+		b := Bucket{Lo: sv[start], Hi: sv[end-1]}
+		for i := start; i < end; i++ {
+			b.Count++
+			b.CostSum += sc[i]
+		}
+		buckets = append(buckets, b)
+		start = end
+	}
+	sealBoundaries(buckets)
+	return &Histogram{buckets: buckets, total: float64(n)}, nil
+}
+
+// BuildMaxDiff builds a histogram placing bucket boundaries at the
+// (nbuckets-1) largest gaps between adjacent sorted values — a classic
+// heuristic for minimizing in-bucket estimation error that mimics the
+// "standard histogram construction techniques" of Section IV-C. costs may
+// be nil. It requires at least one value.
+func BuildMaxDiff(values, costs []float64, nbuckets int) (*Histogram, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("histogram: nbuckets must be positive, got %d", nbuckets)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histogram: no values")
+	}
+	sv, sc, err := pairAndSort(values, costs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(sv)
+	type gap struct {
+		idx  int // boundary before sv[idx]
+		size float64
+	}
+	gaps := make([]gap, 0, n-1)
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, gap{idx: i, size: sv[i] - sv[i-1]})
+	}
+	sort.Slice(gaps, func(a, b int) bool {
+		if gaps[a].size != gaps[b].size {
+			return gaps[a].size > gaps[b].size
+		}
+		return gaps[a].idx < gaps[b].idx
+	})
+	k := nbuckets - 1
+	if k > len(gaps) {
+		k = len(gaps)
+	}
+	cuts := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		cuts = append(cuts, gaps[i].idx)
+	}
+	sort.Ints(cuts)
+	buckets := make([]Bucket, 0, k+1)
+	start := 0
+	bounds := append(cuts, n)
+	for _, end := range bounds {
+		if end <= start {
+			continue
+		}
+		b := Bucket{Lo: sv[start], Hi: sv[end-1]}
+		for i := start; i < end; i++ {
+			b.Count++
+			b.CostSum += sc[i]
+		}
+		buckets = append(buckets, b)
+		start = end
+	}
+	sealBoundaries(buckets)
+	return &Histogram{buckets: buckets, total: float64(n)}, nil
+}
+
+// sealBoundaries fixes up buckets built from point sets. Buckets keep the
+// extent of the values they actually contain (leaving gaps between buckets,
+// so sparse regions estimate to zero), and zero-width buckets caused by
+// duplicate values are widened by one ulp so the half-open interval
+// contains its value.
+func sealBoundaries(buckets []Bucket) {
+	for i := range buckets {
+		if buckets[i].Hi <= buckets[i].Lo {
+			buckets[i].Hi = math.Nextafter(buckets[i].Lo, math.Inf(1))
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildEquiWidthBasics(t *testing.T) {
+	values := []float64{0.05, 0.15, 0.15, 0.95}
+	costs := []float64{1, 2, 4, 8}
+	h, err := BuildEquiWidth(values, costs, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 10 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+	if h.TotalCount() != 4 {
+		t.Fatalf("TotalCount = %v", h.TotalCount())
+	}
+	// Bucket [0.1,0.2) holds two points of costs 2 and 4.
+	avg, ok := h.RangeAvgCost(0.1, 0.2)
+	if !ok || !almost(avg, 3, 1e-9) {
+		t.Errorf("RangeAvgCost(0.1,0.2) = %v,%v want 3,true", avg, ok)
+	}
+	if got := h.RangeCount(0, 0.5); !almost(got, 3, 1e-9) {
+		t.Errorf("RangeCount(0,0.5) = %v, want 3", got)
+	}
+}
+
+func TestBuildEquiWidthValidation(t *testing.T) {
+	if _, err := BuildEquiWidth(nil, nil, 0, 0, 1); err == nil {
+		t.Error("expected error for 0 buckets")
+	}
+	if _, err := BuildEquiWidth(nil, nil, 4, 1, 1); err == nil {
+		t.Error("expected error for empty domain")
+	}
+	if _, err := BuildEquiWidth([]float64{1}, []float64{1, 2}, 4, 0, 2); err == nil {
+		t.Error("expected error for mismatched costs")
+	}
+}
+
+func TestEquiWidthClampsOutOfDomain(t *testing.T) {
+	h, err := BuildEquiWidth([]float64{-5, 5}, nil, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TotalCount(); got != 2 {
+		t.Fatalf("TotalCount = %v", got)
+	}
+	if got := h.RangeCount(0, 1); !almost(got, 2, 1e-9) {
+		t.Errorf("RangeCount over domain = %v, want 2", got)
+	}
+}
+
+func TestBuildEquiDepthBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = rng.NormFloat64() // skewed vs uniform buckets
+	}
+	h, err := BuildEquiDepth(values, nil, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalCount() != 1000 {
+		t.Fatalf("TotalCount = %v", h.TotalCount())
+	}
+	for i, b := range h.Buckets() {
+		if b.Count < 20 || b.Count > 120 {
+			t.Errorf("bucket %d count %v far from equi-depth target 50", i, b.Count)
+		}
+	}
+}
+
+func TestBuildEquiDepthFewValues(t *testing.T) {
+	h, err := BuildEquiDepth([]float64{1, 2}, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() > 2 {
+		t.Errorf("NumBuckets = %d, want <= 2", h.NumBuckets())
+	}
+	if _, err := BuildEquiDepth(nil, nil, 10); err == nil {
+		t.Error("expected error for no values")
+	}
+}
+
+func TestBuildMaxDiffBoundariesAtGaps(t *testing.T) {
+	// Two tight clusters with a big gap: with 2 buckets the cut must fall
+	// in the gap.
+	values := []float64{0.1, 0.11, 0.12, 0.9, 0.91, 0.92}
+	h, err := BuildMaxDiff(values, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 2 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+	b := h.Buckets()
+	if b[0].Count != 3 || b[1].Count != 3 {
+		t.Errorf("counts = %v,%v want 3,3", b[0].Count, b[1].Count)
+	}
+	if got := h.RangeCount(0.5, 0.89); got > 0.3 {
+		t.Errorf("gap region count = %v, want ~0", got)
+	}
+}
+
+func TestHistogramQuantileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+	}
+	h, err := BuildEquiDepth(values, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := h.Quantile(p)
+		back := h.FractionLE(v)
+		if math.Abs(back-p) > 0.03 {
+			t.Errorf("Quantile/FractionLE round trip at p=%v: got %v", p, back)
+		}
+	}
+	lo, hi := h.Domain()
+	if h.Quantile(0) != lo || h.Quantile(1) != hi {
+		t.Errorf("Quantile endpoints wrong")
+	}
+	if h.Quantile(-1) != lo || h.Quantile(2) != hi {
+		t.Errorf("Quantile clamping wrong")
+	}
+}
+
+func TestRangeCountConservation(t *testing.T) {
+	// Full-domain range query must return the total count exactly for all
+	// builders.
+	rng := rand.New(rand.NewSource(4))
+	values := make([]float64, 777)
+	costs := make([]float64, 777)
+	for i := range values {
+		values[i] = rng.Float64()
+		costs[i] = rng.Float64() * 10
+	}
+	builders := map[string]func() (*Histogram, error){
+		"equiwidth": func() (*Histogram, error) { return BuildEquiWidth(values, costs, 32, 0, 1) },
+		"equidepth": func() (*Histogram, error) { return BuildEquiDepth(values, costs, 32) },
+		"maxdiff":   func() (*Histogram, error) { return BuildMaxDiff(values, costs, 32) },
+	}
+	for name, build := range builders {
+		h, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lo, hi := h.Domain()
+		if got := h.RangeCount(lo-1, hi+1); !almost(got, 777, 1e-6) {
+			t.Errorf("%s: full range count = %v, want 777", name, got)
+		}
+		cost, count := h.RangeCost(lo-1, hi+1)
+		var wantCost float64
+		for _, c := range costs {
+			wantCost += c
+		}
+		if !almost(count, 777, 1e-6) || !almost(cost, wantCost, 1e-6) {
+			t.Errorf("%s: full range cost = %v,%v want %v,777", name, cost, count, wantCost)
+		}
+	}
+}
+
+func TestRangeCountAccuracy(t *testing.T) {
+	// Against uniform data, interpolated range counts should track the true
+	// count closely.
+	rng := rand.New(rand.NewSource(5))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	h, err := BuildEquiDepth(values, nil, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	trueCount := func(lo, hi float64) float64 {
+		l := sort.SearchFloat64s(sorted, lo)
+		r := sort.SearchFloat64s(sorted, hi)
+		return float64(r - l)
+	}
+	for i := 0; i < 100; i++ {
+		lo := rng.Float64() * 0.9
+		hi := lo + rng.Float64()*(1-lo)
+		got := h.RangeCount(lo, hi)
+		want := trueCount(lo, hi)
+		if math.Abs(got-want) > 0.02*10000 {
+			t.Errorf("RangeCount(%v,%v) = %v, want ~%v", lo, hi, got, want)
+		}
+	}
+}
+
+func TestRangeEmptyAndInverted(t *testing.T) {
+	h, err := BuildEquiWidth([]float64{0.5}, nil, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.RangeCount(0.9, 0.1); got != 0 {
+		t.Errorf("inverted range count = %v", got)
+	}
+	if _, ok := h.RangeAvgCost(0.9, 0.95); ok {
+		t.Error("expected no avg cost in empty region")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	h, err := BuildEquiWidth(nil, nil, 40, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MemoryBytes(); got != 40*BytesPerBucket {
+		t.Errorf("MemoryBytes = %d, want %d", got, 40*BytesPerBucket)
+	}
+}
+
+// Property: FractionLE is monotone non-decreasing for any histogram.
+func TestFractionLEMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.ExpFloat64()
+	}
+	h, err := BuildMaxDiff(values, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return h.FractionLE(a) <= h.FractionLE(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

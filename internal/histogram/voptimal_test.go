@@ -1,0 +1,166 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVOptimalValidation(t *testing.T) {
+	if _, err := BuildVOptimal(nil, nil, 4); err == nil {
+		t.Error("expected error for no values")
+	}
+	if _, err := BuildVOptimal([]float64{1}, nil, 0); err == nil {
+		t.Error("expected error for zero buckets")
+	}
+	if _, err := BuildVOptimal([]float64{1, 2}, []float64{1}, 2); err == nil {
+		t.Error("expected error for mismatched costs")
+	}
+}
+
+func TestVOptimalFindsClusterBoundaries(t *testing.T) {
+	// Three tight value clusters: with three buckets the DP must recover
+	// them exactly (any other split has strictly higher SSE).
+	values := []float64{
+		1.0, 1.1, 1.2,
+		50.0, 50.1, 50.2, 50.3,
+		100.0, 100.1,
+	}
+	h, err := BuildVOptimal(values, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 3 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	wantCounts := []float64{3, 4, 2}
+	for i, b := range h.Buckets() {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %v, want %v", i, b.Count, wantCounts[i])
+		}
+	}
+}
+
+// Exhaustive check on small inputs: the DP's SSE equals the brute-force
+// minimum over all boundary placements.
+func TestVOptimalMatchesBruteForceSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(7)
+		b := 2 + rng.Intn(3)
+		if b > n {
+			b = n
+		}
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 10
+		}
+		h, err := BuildVOptimal(values, nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SSE(h, values)
+		want := bruteForceSSE(values, b)
+		if got > want+1e-6 {
+			t.Errorf("trial %d (n=%d b=%d): DP SSE %v > brute force %v", trial, n, b, got, want)
+		}
+	}
+}
+
+// bruteForceSSE enumerates all boundary placements.
+func bruteForceSSE(values []float64, b int) float64 {
+	sv := append([]float64(nil), values...)
+	sortFloats(sv)
+	n := len(sv)
+	best := math.Inf(1)
+	// Choose b-1 cut positions among n-1 gaps.
+	var rec func(start, bucketsLeft int, acc float64)
+	segSSE := func(i, j int) float64 {
+		var sum float64
+		for k := i; k <= j; k++ {
+			sum += sv[k]
+		}
+		mean := sum / float64(j-i+1)
+		var s float64
+		for k := i; k <= j; k++ {
+			s += (sv[k] - mean) * (sv[k] - mean)
+		}
+		return s
+	}
+	rec = func(start, bucketsLeft int, acc float64) {
+		if bucketsLeft == 1 {
+			total := acc + segSSE(start, n-1)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start; end <= n-bucketsLeft; end++ {
+			rec(end+1, bucketsLeft-1, acc+segSSE(start, end))
+		}
+	}
+	rec(0, b, 0)
+	return best
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// V-optimal must never have higher SSE than equi-width or equi-depth at
+// the same bucket count — it is the optimum of that objective.
+func TestVOptimalDominatesOtherBuilders(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	values := make([]float64, 400)
+	for i := range values {
+		// Mixture: two Gaussians and a uniform tail.
+		switch i % 3 {
+		case 0:
+			values[i] = rng.NormFloat64()*0.05 + 0.2
+		case 1:
+			values[i] = rng.NormFloat64()*0.05 + 0.8
+		default:
+			values[i] = rng.Float64()
+		}
+	}
+	const b = 12
+	vopt, err := BuildVOptimal(values, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, err := BuildEquiDepth(values, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width, err := BuildEquiWidth(values, nil, b, -1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, ds, ws := SSE(vopt, values), SSE(depth, values), SSE(width, values)
+	if vs > ds+1e-9 || vs > ws+1e-9 {
+		t.Errorf("V-optimal SSE %v not minimal (equi-depth %v, equi-width %v)", vs, ds, ws)
+	}
+	t.Logf("SSE: v-optimal=%.4f equi-depth=%.4f equi-width=%.4f", vs, ds, ws)
+}
+
+func TestVOptimalCountConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	values := make([]float64, 300)
+	costs := make([]float64, 300)
+	for i := range values {
+		values[i] = rng.Float64()
+		costs[i] = rng.Float64() * 5
+	}
+	h, err := BuildVOptimal(values, costs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := h.Domain()
+	if got := h.RangeCount(lo-1, hi+1); !almost(got, 300, 1e-6) {
+		t.Errorf("full range count = %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewTransformValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name          string
+		r, s, gridRes int
+		rng           *rand.Rand
+		wantErr       bool
+	}{
+		{"ok", 4, 3, 16, rng, false},
+		{"ok-identity-dims", 2, 2, 8, rng, false},
+		{"zero-r", 0, 1, 8, rng, true},
+		{"zero-s", 2, 0, 8, rng, true},
+		{"s-gt-r", 2, 3, 8, rng, true},
+		{"zero-grid", 2, 2, 0, rng, true},
+		{"nil-rng", 2, 2, 8, nil, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewTransform(tc.r, tc.s, tc.gridRes, tc.rng)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaultOutputDims(t *testing.T) {
+	tests := []struct{ r, want int }{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {6, 6}, {10, 6}}
+	for _, tc := range tests {
+		if got := DefaultOutputDims(tc.r); got != tc.want {
+			t.Errorf("DefaultOutputDims(%d) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestApplyOutputInUnitCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cfg := range []struct{ r, s int }{{2, 2}, {3, 3}, {4, 3}, {6, 3}, {6, 2}} {
+		tr := MustNewTransform(cfg.r, cfg.s, 32, rng)
+		for i := 0; i < 1000; i++ {
+			x := make([]float64, cfg.r)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			y := tr.Apply(x)
+			if len(y) != cfg.s {
+				t.Fatalf("output dims = %d, want %d", len(y), cfg.s)
+			}
+			for j, v := range y {
+				if v < 0 || v > 1 {
+					t.Fatalf("r=%d s=%d: coordinate %d = %v out of [0,1]", cfg.r, cfg.s, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	tr := MustNewTransform(3, 3, 16, rand.New(rand.NewSource(5)))
+	x := []float64{0.2, 0.7, 0.4}
+	a, b := tr.Apply(x), tr.Apply(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Apply not deterministic")
+		}
+	}
+}
+
+func TestApplyPanicsOnWrongDims(t *testing.T) {
+	tr := MustNewTransform(3, 2, 16, rand.New(rand.NewSource(5)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Apply([]float64{0.1, 0.2})
+}
+
+// The defining property: the transformation is locality-preserving — it
+// never expands distances beyond DistanceScale, and near plan-space points
+// stay much closer in the intermediate space than far ones.
+func TestLocalityPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range []struct{ r, s int }{{2, 2}, {4, 3}, {6, 3}} {
+		tr := MustNewTransform(cfg.r, cfg.s, 32, rng)
+		var nearOut, farOut float64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			x := randPoint(rng, cfg.r)
+			near := perturb(rng, x, 0.01)
+			far := randPoint(rng, cfg.r)
+			dNear := geom.Dist(tr.Apply(x), tr.Apply(near))
+			dFar := geom.Dist(tr.Apply(x), tr.Apply(far))
+			nearOut += dNear
+			farOut += dFar
+			// Contraction bound (projections cannot expand): distance in
+			// the intermediate space is at most DistanceScale times the
+			// plan-space distance.
+			if dNear > geom.Dist(x, near)*tr.DistanceScale()+1e-9 {
+				t.Fatalf("r=%d: expansion beyond bound: %v > %v", cfg.r, dNear, geom.Dist(x, near)*tr.DistanceScale())
+			}
+		}
+		if nearOut >= farOut/5 {
+			t.Errorf("r=%d s=%d: locality too weak: near avg %v, far avg %v",
+				cfg.r, cfg.s, nearOut/n, farOut/n)
+		}
+	}
+}
+
+// Distinct transforms in an ensemble must differ (randomized orientations).
+func TestEnsembleDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, err := NewEnsemble(5, 2, 2, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 5 {
+		t.Fatalf("Size = %d", e.Size())
+	}
+	x := []float64{0.3, 0.6}
+	images := e.Apply(x)
+	if len(images) != 5 {
+		t.Fatalf("Apply returned %d images", len(images))
+	}
+	distinct := 0
+	for i := 1; i < len(images); i++ {
+		if geom.Dist(images[0], images[i]) > 1e-6 {
+			distinct++
+		}
+	}
+	if distinct < 3 {
+		t.Errorf("ensemble transforms look identical: %d distinct of 4", distinct)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(0, 2, 2, 16, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for count 0")
+	}
+	if _, err := NewEnsemble(3, 2, 5, 16, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for s > r")
+	}
+}
+
+// Points spread across the plan space should occupy a meaningful fraction
+// of the intermediate space (the "stretch" step fights shrinkage).
+func TestApplySpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := MustNewTransform(2, 2, 32, rng)
+	lo := []float64{math.Inf(1), math.Inf(1)}
+	hi := []float64{math.Inf(-1), math.Inf(-1)}
+	for i := 0; i < 5000; i++ {
+		y := tr.Apply(randPoint(rng, 2))
+		for j, v := range y {
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+		}
+	}
+	for j := 0; j < 2; j++ {
+		if hi[j]-lo[j] < 0.3 {
+			t.Errorf("axis %d spread = %v, want >= 0.3", j, hi[j]-lo[j])
+		}
+	}
+}
+
+func randPoint(rng *rand.Rand, r int) []float64 {
+	x := make([]float64, r)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func perturb(rng *rand.Rand, x []float64, eps float64) []float64 {
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = x[i] + (rng.Float64()-0.5)*2*eps
+		if y[i] < 0 {
+			y[i] = 0
+		}
+		if y[i] > 1 {
+			y[i] = 1
+		}
+	}
+	return y
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if _, ok := w.Rate(); ok {
+		t.Error("empty window should report no rate")
+	}
+	w.Add(true)
+	w.Add(false)
+	if r, ok := w.Rate(); !ok || r != 0.5 {
+		t.Errorf("rate = %v,%v", r, ok)
+	}
+	w.Add(true)
+	w.Add(true) // evicts the first true
+	if r, _ := w.Rate(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("rate after eviction = %v", r)
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	w.Reset()
+	if _, ok := w.Rate(); ok || w.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestWindowEvictionExact(t *testing.T) {
+	w := NewWindow(2)
+	w.Add(true)
+	w.Add(true)
+	w.Add(false) // evicts a true
+	w.Add(false) // evicts the other true
+	if r, _ := w.Rate(); r != 0 {
+		t.Errorf("rate = %v, want 0", r)
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestTemplateEstimatorRecallIdentity(t *testing.T) {
+	e := NewTemplateEstimator(100)
+	if _, ok := e.Recall(); ok {
+		t.Error("empty estimator should report no recall")
+	}
+	// 6 answered (4 correct), 4 NULL: β = 0.6, prec = 2/3, rec = 0.4.
+	for i := 0; i < 4; i++ {
+		e.RecordPrediction(1, true)
+	}
+	e.RecordPrediction(2, false)
+	e.RecordPrediction(2, false)
+	for i := 0; i < 4; i++ {
+		e.RecordNull()
+	}
+	beta, _ := e.Beta()
+	prec, _ := e.Precision()
+	rec, _ := e.Recall()
+	if math.Abs(beta-0.6) > 1e-12 || math.Abs(prec-2.0/3) > 1e-12 || math.Abs(rec-0.4) > 1e-12 {
+		t.Errorf("beta=%v prec=%v rec=%v", beta, prec, rec)
+	}
+	if e.SampleCount() != 10 {
+		t.Errorf("SampleCount = %d", e.SampleCount())
+	}
+}
+
+func TestTemplateEstimatorPerPlan(t *testing.T) {
+	e := NewTemplateEstimator(10)
+	e.RecordPrediction(7, true)
+	e.RecordPrediction(7, false)
+	e.RecordPrediction(9, true)
+	if p, ok := e.PlanPrecision(7); !ok || p != 0.5 {
+		t.Errorf("plan 7 precision = %v,%v", p, ok)
+	}
+	if p, ok := e.PlanPrecision(9); !ok || p != 1 {
+		t.Errorf("plan 9 precision = %v,%v", p, ok)
+	}
+	if _, ok := e.PlanPrecision(1); ok {
+		t.Error("unknown plan should report no precision")
+	}
+	if len(e.Plans()) != 2 {
+		t.Errorf("Plans = %v", e.Plans())
+	}
+	e.Reset()
+	if _, ok := e.Precision(); ok {
+		t.Error("reset failed")
+	}
+	if len(e.Plans()) != 0 {
+		t.Error("reset did not clear plans")
+	}
+}
+
+func TestTemplateEstimatorAllNull(t *testing.T) {
+	e := NewTemplateEstimator(10)
+	e.RecordNull()
+	e.RecordNull()
+	rec, ok := e.Recall()
+	if !ok || rec != 0 {
+		t.Errorf("all-NULL recall = %v,%v want 0,true", rec, ok)
+	}
+}
+
+func TestCounterDefinitionFour(t *testing.T) {
+	var c Counter
+	if c.Precision() != 1 || c.Recall() != 0 {
+		t.Errorf("empty counter: prec=%v rec=%v", c.Precision(), c.Recall())
+	}
+	// 7 correct, 1 incorrect, 2 NULL.
+	for i := 0; i < 7; i++ {
+		c.RecordTruth(true, true)
+	}
+	c.RecordTruth(true, false)
+	c.RecordTruth(false, false)
+	c.RecordTruth(false, true) // correctness ignored for NULL
+	if got := c.Precision(); math.Abs(got-7.0/8) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if c.Total() != 10 {
+		t.Errorf("total = %v", c.Total())
+	}
+	var d Counter
+	d.RecordTruth(true, true)
+	c.Merge(d)
+	if c.Correct != 8 || c.Total() != 11 {
+		t.Errorf("merge: %+v", c)
+	}
+}

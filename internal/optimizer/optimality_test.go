@@ -1,0 +1,162 @@
+package optimizer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// randomLeftDeepPlan builds a structurally valid (but arbitrarily ordered)
+// left-deep hash-join plan for the query: random table permutation
+// respecting join connectivity, sequential scans everywhere, hash joins
+// with random build sides, aggregation on top if needed. Its recosted cost
+// is a certified upper bound the DP optimizer must not exceed.
+func randomLeftDeepPlan(t *testing.T, q *optimizer.Query, params []float64, rng *rand.Rand) *optimizer.Plan {
+	t.Helper()
+	preds := make([]optimizer.Predicate, len(q.Preds))
+	copy(preds, q.Preds)
+	for i := range preds {
+		if preds[i].Kind == optimizer.PredCmpNum && preds[i].ParamIdx >= 0 {
+			preds[i].Value = params[preds[i].ParamIdx]
+		}
+	}
+	single := map[string][]optimizer.Predicate{}
+	var joins []optimizer.Predicate
+	for _, p := range preds {
+		if p.Kind == optimizer.PredJoin {
+			joins = append(joins, p)
+		} else {
+			single[p.Col.Alias] = append(single[p.Col.Alias], p)
+		}
+	}
+	scan := func(tr optimizer.TableRef) *optimizer.Node {
+		return &optimizer.Node{
+			Op: optimizer.OpSeqScan, Table: tr.Table, Alias: tr.Alias,
+			Filters: single[tr.Alias],
+		}
+	}
+	// Random connected join order: start anywhere, repeatedly attach a
+	// relation connected to the current set.
+	remaining := append([]optimizer.TableRef(nil), q.Tables...)
+	rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
+	joined := map[string]bool{remaining[0].Alias: true}
+	root := scan(remaining[0])
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		progress := false
+		for i, tr := range remaining {
+			// Find a join predicate connecting tr to the joined set.
+			var conn *optimizer.Predicate
+			for k := range joins {
+				j := joins[k]
+				if j.Col.Alias == tr.Alias && joined[j.RightCol.Alias] {
+					flipped := optimizer.Predicate{Kind: optimizer.PredJoin, Col: j.RightCol, RightCol: j.Col}
+					conn = &flipped
+					break
+				}
+				if j.RightCol.Alias == tr.Alias && joined[j.Col.Alias] {
+					conn = &j
+					break
+				}
+			}
+			if conn == nil {
+				continue
+			}
+			root = &optimizer.Node{
+				Op: optimizer.OpHashJoin, Left: root, Right: scan(tr),
+				LeftCol: conn.Col, RightCol: conn.RightCol,
+				BuildLeft: rng.Intn(2) == 0,
+			}
+			joined[tr.Alias] = true
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			t.Fatal("join graph disconnected; cannot build alternative plan")
+		}
+	}
+	if len(q.GroupBy) > 0 || hasAgg(q) {
+		root = &optimizer.Node{Op: optimizer.OpHashAgg, GroupBy: q.GroupBy, Aggs: q.Select, Left: root}
+	}
+	return &optimizer.Plan{Root: root, Fingerprint: optimizer.FingerprintOf(root)}
+}
+
+func hasAgg(q *optimizer.Query) bool {
+	for _, s := range q.Select {
+		if s.Agg != optimizer.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// The DP optimizer must never be beaten (beyond the plan-stability tie
+// window) by a random member of its own search space: any random left-deep
+// hash plan recosted at the same parameters must cost at least as much as
+// the optimizer's choice.
+func TestDPOptimalityAgainstRandomPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for _, name := range []string{"Q1", "Q3", "Q5", "Q8"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tm := tmpl(t, name)
+			for trial := 0; trial < 25; trial++ {
+				point := make([]float64, tm.Degree())
+				for j := range point {
+					point[j] = rng.Float64()
+				}
+				inst, err := opt.InstanceAt(tm, point)
+				if err != nil {
+					t.Fatal(err)
+				}
+				best, err := opt.OptimizeInstance(inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				alt := randomLeftDeepPlan(t, tm.Query, inst.Values, rng)
+				costed, err := opt.Recost(tm.Query, alt, inst.Values)
+				if err != nil {
+					t.Fatalf("alternative plan uncostable: %v\n%s", err, alt)
+				}
+				// Allow the 5% plan-stability window plus slack for the
+				// candidate pruning by sort order.
+				if costed.Cost < best.Cost*0.95-1e-6 {
+					t.Errorf("trial %d point %v: random plan cost %v beats DP cost %v\nDP:\n%s\nalt:\n%s",
+						trial, point, costed.Cost, best.Cost, best, costed)
+				}
+			}
+		})
+	}
+}
+
+// The alternative plans must also execute correctly — cross-checking the
+// executor against the optimizer-chosen plan on the same instance.
+func TestRandomPlansExecuteEquivalently(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tm := tmpl(t, "Q3")
+	for trial := 0; trial < 5; trial++ {
+		point := []float64{0.1 + rng.Float64()*0.4, 0.1 + rng.Float64()*0.4, 0.1 + rng.Float64()*0.4}
+		inst, err := opt.InstanceAt(tm, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := opt.OptimizeInstance(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt := randomLeftDeepPlan(t, tm.Query, inst.Values, rng)
+		a, err := execHarness.Run(best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := execHarness.Run(alt)
+		if err != nil {
+			t.Fatalf("alternative plan failed: %v", err)
+		}
+		if a.Rows[0][0].Num != b.Rows[0][0].Num {
+			t.Errorf("trial %d: DP count %v, alternative count %v", trial, a.Rows[0][0].Num, b.Rows[0][0].Num)
+		}
+	}
+}

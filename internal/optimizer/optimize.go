@@ -1,0 +1,549 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/tpch"
+)
+
+// Optimizer is a cost-based query optimizer over a tpch database and its
+// catalog statistics. It is deterministic: equal queries, statistics and
+// parameter values yield identical plans (including tie-breaking), which
+// the plan-space framework relies on.
+type Optimizer struct {
+	db    *tpch.Database
+	cat   *catalog.Catalog
+	model CostModel
+}
+
+// New creates an optimizer. A nil model uses DefaultCostModel.
+func New(db *tpch.Database, cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{db: db, cat: cat, model: DefaultCostModel()}
+}
+
+// NewWithModel creates an optimizer with a custom cost model (used by the
+// drift experiments, which perturb the model mid-workload to shift plan
+// spaces).
+func NewWithModel(db *tpch.Database, cat *catalog.Catalog, model CostModel) *Optimizer {
+	return &Optimizer{db: db, cat: cat, model: model}
+}
+
+// SetModel replaces the cost model. Subsequent optimizations see the new
+// model; this is how the drift experiment manipulates the plan space.
+func (o *Optimizer) SetModel(model CostModel) { o.model = model }
+
+// Model returns the current cost model.
+func (o *Optimizer) Model() CostModel { return o.model }
+
+// Catalog returns the statistics catalog the optimizer estimates from.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// Optimize selects the cheapest plan for the query instantiated with the
+// given parameter values (one per placeholder, in placeholder order).
+func (o *Optimizer) Optimize(q *Query, params []float64) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if got, want := len(params), q.ParamDegree(); got != want {
+		return nil, fmt.Errorf("optimizer: got %d parameters, want %d", got, want)
+	}
+	preds := instantiate(q.Preds, params)
+
+	// Partition predicates.
+	single := make(map[string][]Predicate) // alias -> single-table predicates
+	var joins []Predicate
+	for _, p := range preds {
+		if p.Kind == PredJoin {
+			joins = append(joins, p)
+		} else {
+			single[p.Col.Alias] = append(single[p.Col.Alias], p)
+		}
+	}
+
+	// Base access path candidates per relation.
+	base := make([][]candidate, len(q.Tables))
+	for i, t := range q.Tables {
+		cands, err := o.accessPaths(t, single[t.Alias])
+		if err != nil {
+			return nil, err
+		}
+		base[i] = cands
+	}
+
+	aliasIdx := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		aliasIdx[t.Alias] = i
+	}
+
+	// Left-deep dynamic programming over relation subsets.
+	n := len(q.Tables)
+	plans := make([]map[string]candidate, 1<<uint(n))
+	for i, cands := range base {
+		m := make(map[string]candidate)
+		for _, c := range cands {
+			addCandidate(m, c)
+		}
+		plans[1<<uint(i)] = m
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		if plans[mask] == nil || bitsSet(mask) < 1 {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			bit := 1 << uint(r)
+			if mask&bit != 0 {
+				continue
+			}
+			next := mask | bit
+			conn := connecting(joins, aliasIdx, mask, r)
+			for _, left := range plans[mask] {
+				cands, err := o.joinCandidates(q, left, r, base[r], conn, single[q.Tables[r].Alias])
+				if err != nil {
+					return nil, err
+				}
+				if plans[next] == nil {
+					plans[next] = make(map[string]candidate)
+				}
+				for _, c := range cands {
+					addCandidate(plans[next], c)
+				}
+			}
+		}
+	}
+
+	full := plans[1<<uint(n)-1]
+	if len(full) == 0 {
+		return nil, fmt.Errorf("optimizer: no plan found")
+	}
+	best := bestCandidate(full)
+
+	root := best.node
+	if len(q.GroupBy) > 0 || hasAggregates(q) {
+		groups := o.groupEstimate(q, best.rows)
+		agg := &Node{
+			Op:      OpHashAgg,
+			GroupBy: q.GroupBy,
+			Aggs:    q.Select,
+			Left:    root,
+			EstRows: groups,
+			EstCost: root.EstCost + o.model.hashAggCost(best.rows, groups),
+		}
+		root = agg
+	}
+	return &Plan{Root: root, Cost: root.EstCost, Fingerprint: FingerprintOf(root)}, nil
+}
+
+// candidate is a DP entry: a partial plan with its cost, cardinality and
+// output order.
+type candidate struct {
+	node     *Node
+	cost     float64
+	rows     float64
+	sortedOn ColRef
+}
+
+// addCandidate keeps the best candidate per output order, with
+// deterministic tie-breaking on the fingerprint.
+func addCandidate(m map[string]candidate, c candidate) {
+	key := c.sortedOn.String()
+	old, ok := m[key]
+	if !ok || betterThan(c, old) {
+		m[key] = c
+	}
+}
+
+// nearTieFraction is the plan-stability window: two candidates whose costs
+// differ by less than this fraction are considered tied, and the tie is
+// broken canonically (smallest fingerprint). Commercial optimizers apply
+// similar thresholds so that meaningless sub-percent cost differences do
+// not flip plan choice; without it the plan space dissolves into
+// salt-and-pepper fragments that violate the plan choice predictability
+// assumption the paper validates in Appendix B.
+const nearTieFraction = 0.05
+
+func betterThan(a, b candidate) bool {
+	lo, hi := a.cost, b.cost
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo > nearTieFraction*lo {
+		return a.cost < b.cost
+	}
+	return FingerprintOf(a.node) < FingerprintOf(b.node)
+}
+
+func bestCandidate(m map[string]candidate) candidate {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := m[keys[0]]
+	for _, k := range keys[1:] {
+		if betterThan(m[k], best) {
+			best = m[k]
+		}
+	}
+	return best
+}
+
+func bitsSet(mask int) int {
+	n := 0
+	for mask != 0 {
+		mask &= mask - 1
+		n++
+	}
+	return n
+}
+
+func hasAggregates(q *Query) bool {
+	for _, s := range q.Select {
+		if s.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// instantiate substitutes parameter values into a copy of the predicates.
+func instantiate(preds []Predicate, params []float64) []Predicate {
+	out := make([]Predicate, len(preds))
+	copy(out, preds)
+	for i := range out {
+		if out[i].Kind == PredCmpNum && out[i].ParamIdx >= 0 {
+			out[i].Value = params[out[i].ParamIdx]
+		}
+	}
+	return out
+}
+
+// connecting returns the join predicates linking relation r to the subset
+// mask, normalized so Col is on the mask (left) side.
+func connecting(joins []Predicate, aliasIdx map[string]int, mask, r int) []Predicate {
+	var out []Predicate
+	for _, j := range joins {
+		li, ri := aliasIdx[j.Col.Alias], aliasIdx[j.RightCol.Alias]
+		if li == r && mask&(1<<uint(ri)) != 0 {
+			// Flip so the left side references the existing subset.
+			out = append(out, Predicate{Kind: PredJoin, Col: j.RightCol, RightCol: j.Col, ParamIdx: -1})
+		} else if ri == r && mask&(1<<uint(li)) != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// accessPaths builds the scan candidates for one relation with its
+// instantiated single-table predicates.
+func (o *Optimizer) accessPaths(t TableRef, preds []Predicate) ([]candidate, error) {
+	table := o.db.Table(t.Table)
+	if table == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %s", t.Table)
+	}
+	baseRows := float64(table.NumRows())
+	selAll, err := o.selProduct(t.Table, preds)
+	if err != nil {
+		return nil, err
+	}
+	outRows := math.Max(baseRows*selAll, 1e-6)
+	clustered := clusteredColumn(table)
+
+	var cands []candidate
+	// Sequential scan. Generated tables are physically ordered by their
+	// first (key) column, so a sequential scan provides that order.
+	seq := &Node{
+		Op: OpSeqScan, Table: t.Table, Alias: t.Alias, Filters: preds,
+		EstRows: outRows,
+		EstCost: o.model.seqScanCost(baseRows, len(preds)),
+	}
+	seq.SortedOn = ColRef{Alias: t.Alias, Column: clustered}
+	cands = append(cands, candidate{node: seq, cost: seq.EstCost, rows: outRows, sortedOn: seq.SortedOn})
+
+	// Index scans: one candidate per index with a sargable predicate, plus
+	// full-range index scans that provide sort order for merge joins.
+	idxCols := make([]string, 0, len(table.Indexes))
+	for col := range table.Indexes {
+		idxCols = append(idxCols, col)
+	}
+	sort.Strings(idxCols)
+	for _, col := range idxCols {
+		driving, residual := splitSargable(preds, col)
+		lo, hi := math.Inf(-1), math.Inf(1)
+		matchSel := 1.0
+		if driving != nil {
+			lo, hi = sargBounds(*driving)
+			s, err := o.selectivity(t.Table, *driving)
+			if err != nil {
+				return nil, err
+			}
+			matchSel = s
+		}
+		matches := math.Max(baseRows*matchSel, 1e-6)
+		node := &Node{
+			Op: OpIndexScan, Table: t.Table, Alias: t.Alias, IndexCol: col,
+			IndexLo: lo, IndexHi: hi, Filters: residual,
+			EstRows:  outRows,
+			EstCost:  o.model.indexScanCost(baseRows, matches, len(residual), col == clustered),
+			SortedOn: ColRef{Alias: t.Alias, Column: col},
+		}
+		cands = append(cands, candidate{node: node, cost: node.EstCost, rows: outRows, sortedOn: node.SortedOn})
+	}
+	return cands, nil
+}
+
+// clusteredColumn returns the column the table is physically ordered by —
+// the generator emits rows in ascending order of the first (key) column.
+func clusteredColumn(t *tpch.Table) string {
+	if len(t.Columns) == 0 {
+		return ""
+	}
+	return t.Columns[0].Name
+}
+
+// splitSargable extracts the best predicate usable as an index range on
+// col, returning it (or nil) and the residual predicates.
+func splitSargable(preds []Predicate, col string) (*Predicate, []Predicate) {
+	best := -1
+	for i, p := range preds {
+		if p.Col.Column != col {
+			continue
+		}
+		switch p.Kind {
+		case PredCmpNum, PredBetween:
+			// Prefer equality (most selective), then keep the first found.
+			if best == -1 || (preds[i].Kind == PredCmpNum && preds[i].Op == OpEq) {
+				best = i
+			}
+		}
+	}
+	if best == -1 {
+		return nil, preds
+	}
+	residual := make([]Predicate, 0, len(preds)-1)
+	residual = append(residual, preds[:best]...)
+	residual = append(residual, preds[best+1:]...)
+	p := preds[best]
+	return &p, residual
+}
+
+// sargBounds converts a sargable predicate into index scan bounds.
+func sargBounds(p Predicate) (lo, hi float64) {
+	switch p.Kind {
+	case PredBetween:
+		return p.Lo, p.Hi
+	case PredCmpNum:
+		switch p.Op {
+		case OpEq:
+			return p.Value, p.Value
+		case OpLE, OpLT:
+			return math.Inf(-1), p.Value
+		case OpGE, OpGT:
+			return p.Value, math.Inf(1)
+		}
+	}
+	return math.Inf(-1), math.Inf(1)
+}
+
+// joinCandidates enumerates join methods attaching relation r to the
+// partial plan `left`.
+func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []candidate, conn []Predicate, rightPreds []Predicate) ([]candidate, error) {
+	tRef := q.Tables[r]
+	table := o.db.Table(tRef.Table)
+	innerRows := float64(table.NumRows())
+	var out []candidate
+
+	if len(conn) == 0 {
+		// Cross product: nested-loop join over the cheapest right scan.
+		right := cheapest(rightBase)
+		rows := math.Max(left.rows*right.rows, 1e-6)
+		node := &Node{
+			Op: OpNLJoin, Left: left.node, Right: right.node,
+			EstRows: rows,
+			EstCost: left.cost + right.node.EstCost + o.model.nlJoinCost(left.rows, right.node.EstCost, rows),
+		}
+		out = append(out, candidate{node: node, cost: node.EstCost, rows: rows})
+		return out, nil
+	}
+
+	driving := conn[0]
+	extra := conn[1:]
+	joinSel, err := o.joinSelectivity(q, driving)
+	if err != nil {
+		return nil, err
+	}
+	rightRows := cheapest(rightBase).rows
+	outRows := math.Max(left.rows*rightRows*joinSel, 1e-6)
+	// Additional join predicates between r and the subset filter the output.
+	for _, e := range extra {
+		s, err := o.joinSelectivity(q, e)
+		if err != nil {
+			return nil, err
+		}
+		outRows = math.Max(outRows*s, 1e-6)
+	}
+
+	extraFilters := append([]Predicate(nil), extra...)
+
+	// Hash join over the cheapest right access path (order is destroyed on
+	// the build side), building on either side; probing preserves the probe
+	// input's order.
+	{
+		right := cheapest(rightBase)
+		for _, buildLeft := range []bool{false, true} {
+			build, probe := right, left
+			if buildLeft {
+				build, probe = left, right
+			}
+			node := &Node{
+				Op: OpHashJoin, Left: left.node, Right: right.node,
+				LeftCol: driving.Col, RightCol: driving.RightCol, BuildLeft: buildLeft,
+				Filters: extraFilters,
+				EstRows: outRows,
+				EstCost: left.cost + right.node.EstCost + o.model.hashJoinCost(build.rows, probe.rows, outRows),
+			}
+			node.SortedOn = probe.sortedOn
+			out = append(out, candidate{node: node, cost: node.EstCost, rows: outRows, sortedOn: node.SortedOn})
+		}
+	}
+
+	// Merge join: requires both inputs ordered on the join columns; unsorted
+	// inputs pay an explicit sort.
+	for _, right := range rightBase {
+		sortLeft, sortRight := 0.0, 0.0
+		if left.sortedOn != driving.Col {
+			sortLeft = o.model.sortCost(left.rows)
+		}
+		if right.sortedOn != driving.RightCol {
+			sortRight = o.model.sortCost(right.rows)
+		}
+		node := &Node{
+			Op: OpMergeJoin, Left: left.node, Right: right.node,
+			LeftCol: driving.Col, RightCol: driving.RightCol,
+			Filters: extraFilters,
+			EstRows: outRows,
+			EstCost: left.cost + right.node.EstCost + sortLeft + sortRight +
+				o.model.mergeJoinCost(left.rows, right.rows, outRows),
+			SortedOn: driving.Col,
+		}
+		out = append(out, candidate{node: node, cost: node.EstCost, rows: outRows, sortedOn: node.SortedOn})
+	}
+
+	// Index nested-loop join: inner index on the join column, probed per
+	// outer row; residual inner predicates filter fetched tuples.
+	if table.HasIndex(driving.RightCol.Column) {
+		innerStats, err := o.cat.Column(tRef.Table, driving.RightCol.Column)
+		if err != nil {
+			return nil, err
+		}
+		matchesPerOuter := innerRows / math.Max(float64(innerStats.Distinct), 1)
+		inner := &Node{
+			Op: OpIndexScan, Table: tRef.Table, Alias: tRef.Alias,
+			IndexCol: driving.RightCol.Column, Filters: rightPreds,
+			EstRows: matchesPerOuter,
+		}
+		correlated := driving.RightCol.Column == clusteredColumn(table)
+		node := &Node{
+			Op: OpIndexNLJoin, Left: left.node, Right: inner,
+			LeftCol: driving.Col, RightCol: driving.RightCol,
+			Filters: extraFilters,
+			EstRows: outRows,
+			EstCost: left.cost + o.model.indexNLJoinCost(left.rows, innerRows, matchesPerOuter,
+				len(rightPreds), correlated, outRows),
+			SortedOn: left.sortedOn,
+		}
+		out = append(out, candidate{node: node, cost: node.EstCost, rows: outRows, sortedOn: node.SortedOn})
+	}
+	return out, nil
+}
+
+func cheapest(cands []candidate) candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if betterThan(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// joinSelectivity estimates the selectivity of an equi-join predicate using
+// the standard 1/max(distinct_left, distinct_right) formula.
+func (o *Optimizer) joinSelectivity(q *Query, j Predicate) (float64, error) {
+	lt := q.Binding(j.Col.Alias)
+	rt := q.Binding(j.RightCol.Alias)
+	if lt == nil || rt == nil {
+		return 0, fmt.Errorf("optimizer: unbound join %s", j)
+	}
+	lc, err := o.cat.Column(lt.Table, j.Col.Column)
+	if err != nil {
+		return 0, err
+	}
+	rc, err := o.cat.Column(rt.Table, j.RightCol.Column)
+	if err != nil {
+		return 0, err
+	}
+	d := math.Max(float64(lc.Distinct), float64(rc.Distinct))
+	if d < 1 {
+		d = 1
+	}
+	return 1 / d, nil
+}
+
+// selProduct multiplies the selectivities of single-table predicates.
+func (o *Optimizer) selProduct(table string, preds []Predicate) (float64, error) {
+	sel := 1.0
+	for _, p := range preds {
+		s, err := o.selectivity(table, p)
+		if err != nil {
+			return 0, err
+		}
+		sel *= s
+	}
+	return sel, nil
+}
+
+// selectivity estimates one instantiated single-table predicate from the
+// catalog — the same estimation the PPC framework's f functions use.
+func (o *Optimizer) selectivity(table string, p Predicate) (float64, error) {
+	cs, err := o.cat.Column(table, p.Col.Column)
+	if err != nil {
+		return 0, err
+	}
+	switch p.Kind {
+	case PredCmpNum:
+		switch p.Op {
+		case OpLE, OpLT:
+			return cs.SelectivityLE(p.Value), nil
+		case OpGE, OpGT:
+			return 1 - cs.SelectivityLE(p.Value), nil
+		case OpEq:
+			return cs.SelectivityEq(p.Value), nil
+		}
+	case PredCmpStr:
+		return cs.SelectivityEqString(p.StrValue), nil
+	case PredBetween:
+		return cs.SelectivityRange(p.Lo, p.Hi), nil
+	}
+	return 0, fmt.Errorf("optimizer: cannot estimate %s", p)
+}
+
+// groupEstimate estimates the number of output groups of the aggregation.
+func (o *Optimizer) groupEstimate(q *Query, inputRows float64) float64 {
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range q.GroupBy {
+		t := q.Binding(g.Alias)
+		if t == nil {
+			continue
+		}
+		if cs, err := o.cat.Column(t.Table, g.Column); err == nil {
+			groups *= math.Max(float64(cs.Distinct), 1)
+		}
+	}
+	return math.Max(math.Min(groups, inputRows), 1)
+}

@@ -1,0 +1,123 @@
+package optimizer_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+)
+
+// Recost at the same parameter values must reproduce the original estimate.
+func TestRecostIdentity(t *testing.T) {
+	for _, name := range []string{"Q0", "Q1", "Q5", "Q8"} {
+		tm := tmpl(t, name)
+		vals := midValues(t, tm)
+		plan, err := opt.Optimize(tm.Query, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := opt.Recost(tm.Query, plan, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Fingerprint != plan.Fingerprint {
+			t.Errorf("%s: recost changed fingerprint:\n%s\n%s", name, plan.Fingerprint, re.Fingerprint)
+		}
+		if math.Abs(re.Cost-plan.Cost) > 0.01*plan.Cost+1e-6 {
+			t.Errorf("%s: recost cost %v, original %v", name, re.Cost, plan.Cost)
+		}
+	}
+}
+
+// Recost must not mutate the cached plan.
+func TestRecostDoesNotMutateOriginal(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	i1, _ := opt.InstanceAt(tm, []float64{0.5, 0.5})
+	plan, err := opt.OptimizeInstance(i1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := plan.Root.EstCost
+	i2, _ := opt.InstanceAt(tm, []float64{0.05, 0.05})
+	if _, err := opt.Recost(tm.Query, plan, i2.Values); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Root.EstCost != before {
+		t.Error("Recost mutated the cached plan")
+	}
+}
+
+// The stale-plan regret property: at a point where the optimizer picks a
+// different plan, recosting the stale plan must never be cheaper than the
+// fresh optimum (the optimizer would have picked it otherwise).
+func TestRecostStalePlanNeverBeatsOptimal(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	rng := rand.New(rand.NewSource(41))
+	base, err := opt.OptimizeInstance(mustInstanceAt(t, tm, []float64{0.05, 0.05}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		point := []float64{rng.Float64(), rng.Float64()}
+		inst := mustInstanceAt(t, tm, point)
+		fresh, err := opt.OptimizeInstance(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale, err := opt.Recost(tm.Query, base, inst.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale.Cost < fresh.Cost*(1-1e-9) {
+			t.Errorf("point %v: stale plan cost %v < optimal %v", point, stale.Cost, fresh.Cost)
+		}
+	}
+}
+
+// Recosting with changed parameters must move the cost in the right
+// direction: smaller selectivity, cheaper or equal plan.
+func TestRecostTracksSelectivity(t *testing.T) {
+	tm := tmpl(t, "Q0")
+	inst, _ := opt.InstanceAt(tm, []float64{0.9, 0.9})
+	plan, err := opt.OptimizeInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, sel := range []float64{0.9, 0.5, 0.2, 0.05} {
+		i2, _ := opt.InstanceAt(tm, []float64{sel, sel})
+		re, err := opt.Recost(tm.Query, plan, i2.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Cost > prev*1.01 {
+			t.Errorf("recost increased from %v to %v at sel %v", prev, re.Cost, sel)
+		}
+		prev = re.Cost
+	}
+}
+
+func TestRecostValidation(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	plan, err := opt.Optimize(tm.Query, midValues(t, tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Recost(tm.Query, plan, []float64{1}); err == nil {
+		t.Error("expected error for wrong parameter count")
+	}
+}
+
+func mustInstanceAt(t *testing.T, tm *optimizer.Template, point []float64) optimizer.Instance {
+	t.Helper()
+	inst, err := opt.InstanceAt(tm, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// Compile-time association with the queries package used in helpers above.
+var _ = queries.Defs

@@ -1,0 +1,122 @@
+package plancache
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("expected error for capacity 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(-1, nil)
+}
+
+func TestPutGetBasics(t *testing.T) {
+	c := MustNew(2, nil)
+	if ev := c.Put(1, "plan1"); ev != -1 {
+		t.Errorf("eviction on first put: %d", ev)
+	}
+	c.Put(2, "plan2")
+	e, ok := c.Get(1)
+	if !ok || e.Plan != "plan1" || e.Hits != 1 {
+		t.Errorf("Get(1) = %+v, %v", e, ok)
+	}
+	if _, ok := c.Get(99); ok {
+		t.Error("Get(99) should miss")
+	}
+	if !c.Contains(2) || c.Contains(99) {
+		t.Error("Contains wrong")
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Errorf("Len=%d Cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(2, nil)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Get(1) // 2 becomes LRU
+	if ev := c.Put(3, "c"); ev != 2 {
+		t.Errorf("evicted %d, want 2", ev)
+	}
+	if c.Contains(2) {
+		t.Error("evicted plan still present")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("Evictions = %d", c.Evictions())
+	}
+}
+
+func TestPutRefreshDoesNotEvict(t *testing.T) {
+	c := MustNew(2, nil)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if ev := c.Put(1, "a2"); ev != -1 {
+		t.Errorf("refresh evicted %d", ev)
+	}
+	e, _ := c.Get(1)
+	if e.Plan != "a2" {
+		t.Error("refresh did not update plan")
+	}
+}
+
+func TestPrecisionAwareEviction(t *testing.T) {
+	// Plan 1 is recently used but error-prone (precision 0.1); plan 2 is
+	// older but precise (precision 1.0). The precision-weighted policy
+	// must evict plan 1 even though LRU would evict plan 2.
+	prec := func(planID int) (float64, bool) {
+		if planID == 1 {
+			return 0.1, true
+		}
+		return 1.0, true
+	}
+	c := MustNew(2, prec)
+	c.Put(2, "precise")
+	c.Put(1, "sloppy") // most recent
+	if ev := c.Put(3, "new"); ev != 1 {
+		t.Errorf("evicted %d, want sloppy plan 1", ev)
+	}
+}
+
+func TestUnknownPrecisionIsNeutral(t *testing.T) {
+	prec := func(planID int) (float64, bool) { return 0, false }
+	c := MustNew(2, prec)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if ev := c.Put(3, "c"); ev != 1 {
+		t.Errorf("evicted %d, want LRU victim 1", ev)
+	}
+}
+
+func TestDropAndClear(t *testing.T) {
+	c := MustNew(4, nil)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if !c.Drop(1) || c.Drop(1) {
+		t.Error("Drop semantics wrong")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Contains(2) {
+		t.Error("Clear failed")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := MustNew(3, nil)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+		if c.Len() > 3 {
+			t.Fatalf("capacity exceeded at %d: %d", i, c.Len())
+		}
+	}
+	if c.Evictions() != 97 {
+		t.Errorf("Evictions = %d, want 97", c.Evictions())
+	}
+}

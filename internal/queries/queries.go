@@ -1,0 +1,167 @@
+// Package queries defines the nine TPC-H-style query templates Q0–Q8 of
+// the experimental setup (paper Appendix A, Table III). The appendix body
+// with the exact SQL is not part of the available paper text, so these
+// templates are designed to match its stated properties: parameter degrees
+// ranging from 2 to 6, range predicates over indexed date and key columns
+// (including the artificial Gaussian x_date columns), and Q1's two
+// parameters "s_date <= ?" and "l_partkey <= ?" from the paper's running
+// example (Figure 2).
+//
+// Every `?` placeholder is an explicit template parameter whose predicate
+// selectivity is one optimizer parameter, so template Qi has an
+// r-dimensional plan space where r = its parameter degree.
+package queries
+
+import (
+	"fmt"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+)
+
+// Schema mirrors the tpch generator's schema for the SQL parser.
+var Schema = sqlparse.SchemaMap{
+	"region":   {"r_regionkey", "r_name", "r_date"},
+	"nation":   {"n_nationkey", "n_name", "n_regionkey", "n_date"},
+	"supplier": {"s_suppkey", "s_nationkey", "s_acctbal", "s_date"},
+	"part":     {"p_partkey", "p_size", "p_retailprice", "p_brand", "p_type", "p_date"},
+	"partsupp": {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_date"},
+	"customer": {"c_custkey", "c_nationkey", "c_acctbal", "c_mktsegment", "c_date"},
+	"orders":   {"o_orderkey", "o_custkey", "o_totalprice", "o_orderdate", "o_orderpriority", "o_date"},
+	"lineitem": {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+		"l_extendedprice", "l_discount", "l_shipdate", "l_date"},
+}
+
+// Def is a named template definition.
+type Def struct {
+	Name string
+	SQL  string
+	// Degree is the declared parameter degree, checked at parse time.
+	Degree int
+}
+
+// Defs lists the standard templates in order Q0..Q8.
+var Defs = []Def{
+	{
+		Name:   "Q0",
+		Degree: 2,
+		SQL: `SELECT COUNT(*), SUM(l_extendedprice)
+		      FROM lineitem
+		      WHERE l_shipdate <= ? AND l_partkey <= ?`,
+	},
+	{
+		// The paper's running example (Figure 2): supplier-lineitem join
+		// parameterized on s_date and l_partkey.
+		Name:   "Q1",
+		Degree: 2,
+		SQL: `SELECT s.s_suppkey, COUNT(*)
+		      FROM supplier s, lineitem l
+		      WHERE l.l_suppkey = s.s_suppkey AND s.s_date <= ? AND l.l_partkey <= ?
+		      GROUP BY s.s_suppkey`,
+	},
+	{
+		Name:   "Q2",
+		Degree: 2,
+		SQL: `SELECT COUNT(*), SUM(o.o_totalprice)
+		      FROM customer c, orders o
+		      WHERE o.o_custkey = c.c_custkey AND c.c_date <= ? AND o.o_orderdate <= ?`,
+	},
+	{
+		Name:   "Q3",
+		Degree: 3,
+		SQL: `SELECT COUNT(*)
+		      FROM customer c, orders o, lineitem l
+		      WHERE o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_orderkey
+		        AND c.c_date <= ? AND o.o_date <= ? AND l.l_shipdate <= ?`,
+	},
+	{
+		Name:   "Q4",
+		Degree: 3,
+		SQL: `SELECT COUNT(*), AVG(ps.ps_supplycost)
+		      FROM part p, partsupp ps, supplier s
+		      WHERE ps.ps_partkey = p.p_partkey AND ps.ps_suppkey = s.s_suppkey
+		        AND p.p_date <= ? AND ps.ps_date <= ? AND s.s_date <= ?`,
+	},
+	{
+		// Q5–Q8 concentrate most parameters on the lineitem fact table
+		// (multi-predicate scans), the workload shape under which
+		// high-dimensional plan spaces keep large optimality regions.
+		Name:   "Q5",
+		Degree: 4,
+		SQL: `SELECT COUNT(*)
+		      FROM customer c, orders o, lineitem l
+		      WHERE o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_orderkey
+		        AND l.l_shipdate <= ? AND l.l_date <= ? AND l.l_quantity <= ? AND o.o_orderdate <= ?`,
+	},
+	{
+		Name:   "Q6",
+		Degree: 4,
+		SQL: `SELECT COUNT(*), SUM(l.l_extendedprice)
+		      FROM part p, lineitem l, orders o
+		      WHERE l.l_partkey = p.p_partkey AND l.l_orderkey = o.o_orderkey
+		        AND p.p_date <= ? AND l.l_shipdate <= ? AND o.o_date <= ? AND l.l_partkey <= ?`,
+	},
+	{
+		Name:   "Q7",
+		Degree: 5,
+		SQL: `SELECT COUNT(*), SUM(l.l_extendedprice)
+		      FROM supplier s, lineitem l, orders o
+		      WHERE l.l_suppkey = s.s_suppkey AND l.l_orderkey = o.o_orderkey
+		        AND l.l_shipdate <= ? AND l.l_date <= ? AND l.l_partkey <= ?
+		        AND l.l_quantity <= ? AND o.o_orderdate <= ?`,
+	},
+	{
+		Name:   "Q8",
+		Degree: 6,
+		SQL: `SELECT COUNT(*)
+		      FROM part p, lineitem l, orders o, customer c
+		      WHERE l.l_partkey = p.p_partkey AND l.l_orderkey = o.o_orderkey
+		        AND o.o_custkey = c.c_custkey
+		        AND l.l_shipdate <= ? AND l.l_date <= ? AND l.l_partkey <= ?
+		        AND l.l_quantity <= ? AND o.o_orderdate <= ? AND c.c_date <= ?`,
+	},
+}
+
+// Templates parses all standard templates. The result is freshly allocated;
+// callers may mutate freely.
+func Templates() ([]*optimizer.Template, error) {
+	out := make([]*optimizer.Template, len(Defs))
+	for i, d := range Defs {
+		q, err := sqlparse.Parse(d.SQL, Schema)
+		if err != nil {
+			return nil, fmt.Errorf("queries: %s: %w", d.Name, err)
+		}
+		t, err := optimizer.NewTemplate(d.Name, d.SQL, q)
+		if err != nil {
+			return nil, fmt.Errorf("queries: %s: %w", d.Name, err)
+		}
+		if t.Degree() != d.Degree {
+			return nil, fmt.Errorf("queries: %s: parsed degree %d, declared %d", d.Name, t.Degree(), d.Degree)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// MustTemplates is like Templates but panics on error.
+func MustTemplates() []*optimizer.Template {
+	ts, err := Templates()
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// ByName returns the named standard template.
+func ByName(name string) (*optimizer.Template, error) {
+	for _, d := range Defs {
+		if d.Name == name {
+			q, err := sqlparse.Parse(d.SQL, Schema)
+			if err != nil {
+				return nil, err
+			}
+			return optimizer.NewTemplate(d.Name, d.SQL, q)
+		}
+	}
+	return nil, fmt.Errorf("queries: no template named %s", name)
+}

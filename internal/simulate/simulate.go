@@ -1,0 +1,257 @@
+// Package simulate implements the end-to-end runtime performance
+// evaluation of Section V-C: it drives a plan-space workload through three
+// strategies and reports cumulative time —
+//
+//   - ALWAYS-OPTIMIZE: every instance pays full optimization plus the
+//     optimal plan's execution time (the no-plan-cache baseline);
+//   - PPC: the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver pays prediction
+//     time, optimization time when it invokes the optimizer, and the
+//     execution time of the plan it actually chose (possibly stale);
+//   - IDEAL: a hypothetical predictor with 100% precision and recall that
+//     always reuses the optimal plan with zero decision overhead.
+//
+// Following the paper's out-of-engine prototype, execution time is
+// simulated from the cost model: wall-clock execution of a plan is its
+// estimated cost times a calibration factor κ measured by running a few
+// real plans through the executor ("we use the timings of our prototype as
+// an upper bound on the overhead of the techniques proposed").
+// Optimization and prediction overheads are real measured wall times.
+package simulate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	// Template is the query template under test.
+	Template *optimizer.Template
+	// Opt is the optimizer (with its catalog).
+	Opt *optimizer.Optimizer
+	// Exec calibrates cost units to wall time; nil uses CostToTime.
+	Exec *executor.Executor
+	// Online configures the PPC driver; Core.Dims is overridden.
+	Online core.OnlineConfig
+	// Points is the plan-space workload.
+	Points [][]float64
+	// CostToTime is κ in seconds per cost unit; 0 calibrates from Exec
+	// (required when Exec is nil).
+	CostToTime float64
+	// CalibrationRuns is how many plans to execute when calibrating
+	// (default 5).
+	CalibrationRuns int
+}
+
+// Step records one instance's simulated timings.
+type Step struct {
+	// CumAlways, CumPPC, CumIdeal are cumulative seconds after this step.
+	CumAlways float64
+	CumPPC    float64
+	CumIdeal  float64
+	// Invoked and CacheHit describe the PPC driver's decision.
+	Invoked  bool
+	CacheHit bool
+	// Stale is true when PPC executed a plan that is not optimal here.
+	Stale bool
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Steps []Step
+	// TotalAlways, TotalPPC, TotalIdeal are the final cumulative seconds.
+	TotalAlways float64
+	TotalPPC    float64
+	TotalIdeal  float64
+	// Invocations counts PPC optimizer calls; Hits counts cache hits.
+	Invocations int
+	Hits        int
+	// StaleExecutions counts PPC executions of non-optimal plans.
+	StaleExecutions int
+	// CostToTime is the κ used (measured or configured).
+	CostToTime float64
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Template == nil || cfg.Opt == nil {
+		return nil, fmt.Errorf("simulate: Template and Opt are required")
+	}
+	if len(cfg.Points) == 0 {
+		return nil, fmt.Errorf("simulate: empty workload")
+	}
+	kappa := cfg.CostToTime
+	if kappa == 0 {
+		if cfg.Exec == nil {
+			return nil, fmt.Errorf("simulate: need Exec or CostToTime for calibration")
+		}
+		var err error
+		kappa, err = Calibrate(cfg.Template, cfg.Opt, cfg.Exec, cfg.CalibrationRuns, cfg.Points)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	env := newOracle(cfg.Template, cfg.Opt)
+	onlineCfg := cfg.Online
+	onlineCfg.Core.Dims = cfg.Template.Degree()
+	driver, err := core.NewOnline(onlineCfg, env)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Steps: make([]Step, 0, len(cfg.Points)), CostToTime: kappa}
+	var cumA, cumP, cumI float64
+	for _, x := range cfg.Points {
+		// Ground truth (shared by all three strategies). The oracle caches
+		// per-point optimizations so the baseline does not double-charge.
+		optPlan, optCost, optWall, err := env.groundTruth(x)
+		if err != nil {
+			return nil, err
+		}
+		// ALWAYS-OPTIMIZE pays the measured optimizer wall time plus the
+		// optimal execution time.
+		cumA += optWall.Seconds() + optCost*kappa
+		// IDEAL pays only the optimal execution time.
+		cumI += optCost * kappa
+
+		// PPC pays measured decision time, any optimizer wall time spent
+		// inside the step, and the executed plan's (possibly stale) cost.
+		env.optWall = 0
+		t0 := time.Now()
+		d := driver.Step(x)
+		stepWall := time.Since(t0)
+		if env.err != nil {
+			return nil, env.err
+		}
+		execCost := optCost
+		stale := false
+		if d.Plan != optPlan {
+			execCost = env.staleCost(x, d.Plan)
+			stale = true
+		}
+		cumP += stepWall.Seconds() + execCost*kappa
+
+		if d.Invoked {
+			res.Invocations++
+		}
+		if d.CacheHit {
+			res.Hits++
+		}
+		if stale {
+			res.StaleExecutions++
+		}
+		res.Steps = append(res.Steps, Step{
+			CumAlways: cumA, CumPPC: cumP, CumIdeal: cumI,
+			Invoked: d.Invoked, CacheHit: d.CacheHit, Stale: stale,
+		})
+	}
+	res.TotalAlways, res.TotalPPC, res.TotalIdeal = cumA, cumP, cumI
+	return res, nil
+}
+
+// Calibrate measures κ (seconds per cost unit) by executing a few plans
+// and dividing wall time by estimated cost.
+func Calibrate(tmpl *optimizer.Template, opt *optimizer.Optimizer, exec *executor.Executor, runs int, points [][]float64) (float64, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	if runs > len(points) {
+		runs = len(points)
+	}
+	var totalCost float64
+	var totalWall time.Duration
+	for i := 0; i < runs; i++ {
+		inst, err := opt.InstanceAt(tmpl, points[i*len(points)/runs])
+		if err != nil {
+			return 0, err
+		}
+		plan, err := opt.OptimizeInstance(inst)
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if _, err := exec.Run(plan); err != nil {
+			return 0, err
+		}
+		totalWall += time.Since(t0)
+		totalCost += plan.Cost
+	}
+	if totalCost <= 0 {
+		return 0, fmt.Errorf("simulate: calibration plans have zero cost")
+	}
+	return totalWall.Seconds() / totalCost, nil
+}
+
+// oracle implements core.Environment over the real optimizer, caching
+// ground truth per point and plan trees per identifier.
+type oracle struct {
+	tmpl    *optimizer.Template
+	opt     *optimizer.Optimizer
+	reg     *optimizer.Registry
+	plans   map[int]*optimizer.Plan
+	err     error
+	optWall time.Duration
+}
+
+func newOracle(tmpl *optimizer.Template, opt *optimizer.Optimizer) *oracle {
+	return &oracle{tmpl: tmpl, opt: opt, reg: optimizer.NewRegistry(), plans: make(map[int]*optimizer.Plan)}
+}
+
+// groundTruth optimizes at x, returning the optimal plan id, its cost, and
+// the measured optimizer wall time.
+func (o *oracle) groundTruth(x []float64) (int, float64, time.Duration, error) {
+	t0 := time.Now()
+	inst, err := o.opt.InstanceAt(o.tmpl, x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	plan, err := o.opt.OptimizeInstance(inst)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wall := time.Since(t0)
+	id := o.reg.ID(plan.Fingerprint)
+	o.plans[id] = plan
+	return id, plan.Cost, wall, nil
+}
+
+// Optimize implements core.Environment.
+func (o *oracle) Optimize(x []float64) (int, float64) {
+	t0 := time.Now()
+	id, cost, _, err := o.groundTruth(x)
+	if err != nil {
+		o.err = err
+		return 0, 0
+	}
+	o.optWall += time.Since(t0)
+	return id, cost
+}
+
+// ExecuteCost implements core.Environment via plan rebinding.
+func (o *oracle) ExecuteCost(x []float64, planID int) float64 {
+	return o.staleCost(x, planID)
+}
+
+// staleCost recosts a cached plan at a new point.
+func (o *oracle) staleCost(x []float64, planID int) float64 {
+	plan, ok := o.plans[planID]
+	if !ok {
+		return 0
+	}
+	inst, err := o.opt.InstanceAt(o.tmpl, x)
+	if err != nil {
+		o.err = err
+		return 0
+	}
+	re, err := o.opt.Recost(o.tmpl.Query, plan, inst.Values)
+	if err != nil {
+		o.err = err
+		return 0
+	}
+	return re.Cost
+}

@@ -1,0 +1,130 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+var (
+	simDB  = tpch.MustGenerate(tpch.Config{Scale: 1000, Seed: 5})
+	simCat = catalog.MustBuild(simDB, 0)
+	simOpt = optimizer.New(simDB, simCat)
+)
+
+func simTemplate(t *testing.T, name string) *optimizer.Template {
+	t.Helper()
+	tm, err := queries.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestRunValidation(t *testing.T) {
+	tm := simTemplate(t, "Q1")
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Run(Config{Template: tm, Opt: simOpt}); err == nil {
+		t.Error("empty workload should fail")
+	}
+	if _, err := Run(Config{Template: tm, Opt: simOpt, Points: [][]float64{{0.5, 0.5}}}); err == nil {
+		t.Error("missing calibration should fail")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	tm := simTemplate(t, "Q0")
+	pts := workload.Uniform(tm.Degree(), 10, 1)
+	kappa, err := Calibrate(tm, simOpt, executor.New(simDB), 3, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa <= 0 {
+		t.Errorf("kappa = %v", kappa)
+	}
+}
+
+// The paper's Section V-C headline: on a locality-heavy workload, PPC total
+// time lands between IDEAL and ALWAYS-OPTIMIZE, and much closer to IDEAL
+// than to the baseline once warmed up.
+func TestPPCBeatsAlwaysOptimize(t *testing.T) {
+	tm := simTemplate(t, "Q1")
+	pts := workload.MustTrajectories(workload.TrajectoryConfig{
+		Dims: tm.Degree(), NumPoints: 600, Sigma: 0.01, Seed: 9,
+	})
+	res, err := Run(Config{
+		Template:   tm,
+		Opt:        simOpt,
+		Points:     pts,
+		CostToTime: 1e-6, // fixed κ: deterministic shape
+		Online: core.OnlineConfig{
+			Core:             core.Config{Radius: 0.05, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+			InvocationProb:   0.05,
+			NegativeFeedback: true,
+			Seed:             13,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIdeal >= res.TotalAlways {
+		t.Fatalf("ideal (%v) not cheaper than always-optimize (%v)", res.TotalIdeal, res.TotalAlways)
+	}
+	if res.TotalPPC >= res.TotalAlways {
+		t.Errorf("PPC (%v) not cheaper than always-optimize (%v)", res.TotalPPC, res.TotalAlways)
+	}
+	if res.TotalPPC < res.TotalIdeal {
+		t.Errorf("PPC (%v) beat IDEAL (%v); impossible without mismeasurement", res.TotalPPC, res.TotalIdeal)
+	}
+	if res.Hits == 0 {
+		t.Error("no cache hits on a high-locality trajectory workload")
+	}
+	if res.Invocations >= len(pts) {
+		t.Error("PPC invoked the optimizer on every instance")
+	}
+	if len(res.Steps) != len(pts) {
+		t.Errorf("steps = %d, want %d", len(res.Steps), len(pts))
+	}
+	// Cumulative series must be non-decreasing.
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].CumPPC < res.Steps[i-1].CumPPC ||
+			res.Steps[i].CumAlways < res.Steps[i-1].CumAlways ||
+			res.Steps[i].CumIdeal < res.Steps[i-1].CumIdeal {
+			t.Fatalf("cumulative series decreased at step %d", i)
+		}
+	}
+}
+
+func TestStaleExecutionsAreCharged(t *testing.T) {
+	// With negative feedback off and a coarse gamma, some stale executions
+	// should occur on a wide workload, and each must cost at least the
+	// optimal plan's cost.
+	tm := simTemplate(t, "Q1")
+	pts := workload.Uniform(tm.Degree(), 400, 11)
+	res, err := Run(Config{
+		Template:   tm,
+		Opt:        simOpt,
+		Points:     pts,
+		CostToTime: 1e-6,
+		Online: core.OnlineConfig{
+			Core: core.Config{Radius: 0.15, Gamma: 0.5, Seed: 5},
+			Seed: 17,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPC can never beat IDEAL: stale plans cost >= optimal by recost
+	// optimality, and overheads are non-negative.
+	if res.TotalPPC < res.TotalIdeal {
+		t.Errorf("PPC (%v) beat IDEAL (%v)", res.TotalPPC, res.TotalIdeal)
+	}
+}

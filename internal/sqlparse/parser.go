@@ -1,0 +1,350 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/optimizer"
+)
+
+// Schema tells the parser which columns each table has, so unqualified
+// column references can be resolved. Table and column names are lowercase.
+type Schema interface {
+	// TableColumns returns the column names of table, or false if the table
+	// does not exist.
+	TableColumns(table string) ([]string, bool)
+}
+
+// SchemaMap is a map-backed Schema.
+type SchemaMap map[string][]string
+
+// TableColumns implements Schema.
+func (m SchemaMap) TableColumns(table string) ([]string, bool) {
+	cols, ok := m[table]
+	return cols, ok
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a SQL template and resolves it against the schema, returning
+// a validated logical query. Placeholders (`?`) are numbered left to right
+// as template parameters 0, 1, ….
+func Parse(sql string, schema Schema) (*optimizer.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := resolve(q, schema); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is like Parse but panics on error. For statically known templates.
+func MustParse(sql string, schema Schema) *optimizer.Query {
+	q, err := Parse(sql, schema)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: "+format+" (at offset %d)", append(args, p.peek().pos)...)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !isKeyword(p.peek(), kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseQuery() (*optimizer.Query, error) {
+	q := &optimizer.Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.peek().kind != tokIdent {
+			return nil, p.errf("expected table name, found %s", p.peek())
+		}
+		name := strings.ToLower(p.next().text)
+		alias := name
+		if p.peek().kind == tokIdent && !isAnyKeyword(p.peek()) {
+			alias = strings.ToLower(p.next().text)
+		}
+		q.Tables = append(q.Tables, optimizer.TableRef{Table: name, Alias: alias})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	paramIdx := 0
+	if isKeyword(p.peek(), "WHERE") {
+		p.next()
+		for {
+			pred, err := p.parsePredicate(&paramIdx)
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !isKeyword(p.peek(), "AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if isKeyword(p.peek(), "GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.peek())
+	}
+	return q, nil
+}
+
+var aggNames = map[string]optimizer.AggFunc{
+	"count": optimizer.AggCount,
+	"sum":   optimizer.AggSum,
+	"avg":   optimizer.AggAvg,
+	"min":   optimizer.AggMin,
+	"max":   optimizer.AggMax,
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"group": true, "by": true, "between": true,
+}
+
+func isAnyKeyword(t token) bool {
+	return t.kind == tokIdent && keywords[strings.ToLower(t.text)]
+}
+
+func (p *parser) parseSelectItem() (optimizer.SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToLower(t.text)]; ok && p.toks[p.pos+1].kind == tokLParen {
+			p.next() // agg name
+			p.next() // (
+			var col optimizer.ColRef
+			if p.peek().kind == tokStar {
+				if agg != optimizer.AggCount {
+					return optimizer.SelectItem{}, p.errf("only COUNT may take *")
+				}
+				p.next()
+			} else {
+				c, err := p.parseColRef()
+				if err != nil {
+					return optimizer.SelectItem{}, err
+				}
+				col = c
+			}
+			if p.peek().kind != tokRParen {
+				return optimizer.SelectItem{}, p.errf("expected ), found %s", p.peek())
+			}
+			p.next()
+			return optimizer.SelectItem{Agg: agg, Col: col}, nil
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return optimizer.SelectItem{}, err
+		}
+		return optimizer.SelectItem{Col: col}, nil
+	}
+	return optimizer.SelectItem{}, p.errf("expected select expression, found %s", t)
+}
+
+func (p *parser) parseColRef() (optimizer.ColRef, error) {
+	if p.peek().kind != tokIdent {
+		return optimizer.ColRef{}, p.errf("expected column, found %s", p.peek())
+	}
+	first := strings.ToLower(p.next().text)
+	if p.peek().kind == tokDot {
+		p.next()
+		if p.peek().kind != tokIdent {
+			return optimizer.ColRef{}, p.errf("expected column after ., found %s", p.peek())
+		}
+		return optimizer.ColRef{Alias: first, Column: strings.ToLower(p.next().text)}, nil
+	}
+	// Unqualified; resolution fills the alias later.
+	return optimizer.ColRef{Column: first}, nil
+}
+
+func (p *parser) parsePredicate(paramIdx *int) (optimizer.Predicate, error) {
+	col, err := p.parseColRef()
+	if err != nil {
+		return optimizer.Predicate{}, err
+	}
+	if isKeyword(p.peek(), "BETWEEN") {
+		p.next()
+		lo := p.peek()
+		if lo.kind != tokNumber {
+			return optimizer.Predicate{}, p.errf("expected number after BETWEEN, found %s", lo)
+		}
+		p.next()
+		if err := p.expectKeyword("AND"); err != nil {
+			return optimizer.Predicate{}, err
+		}
+		hi := p.peek()
+		if hi.kind != tokNumber {
+			return optimizer.Predicate{}, p.errf("expected number after AND, found %s", hi)
+		}
+		p.next()
+		return optimizer.Predicate{Kind: optimizer.PredBetween, Col: col, Lo: lo.num, Hi: hi.num, ParamIdx: -1}, nil
+	}
+	if p.peek().kind != tokCmp {
+		return optimizer.Predicate{}, p.errf("expected comparison operator, found %s", p.peek())
+	}
+	opText := p.next().text
+	var op optimizer.CmpOp
+	switch opText {
+	case "=":
+		op = optimizer.OpEq
+	case "<=":
+		op = optimizer.OpLE
+	case ">=":
+		op = optimizer.OpGE
+	case "<":
+		op = optimizer.OpLT
+	case ">":
+		op = optimizer.OpGT
+	}
+	rhs := p.peek()
+	switch rhs.kind {
+	case tokNumber:
+		p.next()
+		return optimizer.Predicate{Kind: optimizer.PredCmpNum, Col: col, Op: op, Value: rhs.num, ParamIdx: -1}, nil
+	case tokQMark:
+		p.next()
+		pred := optimizer.Predicate{Kind: optimizer.PredCmpNum, Col: col, Op: op, ParamIdx: *paramIdx}
+		*paramIdx++
+		return pred, nil
+	case tokString:
+		p.next()
+		if op != optimizer.OpEq {
+			return optimizer.Predicate{}, p.errf("string comparison must use =")
+		}
+		return optimizer.Predicate{Kind: optimizer.PredCmpStr, Col: col, StrValue: rhs.text, ParamIdx: -1}, nil
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return optimizer.Predicate{}, err
+		}
+		if op != optimizer.OpEq {
+			return optimizer.Predicate{}, p.errf("join predicate must use =")
+		}
+		return optimizer.Predicate{Kind: optimizer.PredJoin, Col: col, RightCol: right, ParamIdx: -1}, nil
+	default:
+		return optimizer.Predicate{}, p.errf("expected value, parameter, or column, found %s", rhs)
+	}
+}
+
+// resolve fills unqualified column aliases and checks table existence.
+func resolve(q *optimizer.Query, schema Schema) error {
+	colsOf := make(map[string]map[string]bool) // alias -> column set
+	for _, t := range q.Tables {
+		cols, ok := schema.TableColumns(t.Table)
+		if !ok {
+			return fmt.Errorf("sqlparse: unknown table %s", t.Table)
+		}
+		set := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			set[strings.ToLower(c)] = true
+		}
+		colsOf[t.Alias] = set
+	}
+	fix := func(c *optimizer.ColRef) error {
+		if c.Alias != "" {
+			set, ok := colsOf[c.Alias]
+			if !ok {
+				return fmt.Errorf("sqlparse: unknown alias %s", c.Alias)
+			}
+			if !set[c.Column] {
+				return fmt.Errorf("sqlparse: table %s has no column %s", c.Alias, c.Column)
+			}
+			return nil
+		}
+		var owner string
+		for alias, set := range colsOf {
+			if set[c.Column] {
+				if owner != "" {
+					return fmt.Errorf("sqlparse: ambiguous column %s (in %s and %s)", c.Column, owner, alias)
+				}
+				owner = alias
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("sqlparse: unknown column %s", c.Column)
+		}
+		c.Alias = owner
+		return nil
+	}
+	for i := range q.Preds {
+		if err := fix(&q.Preds[i].Col); err != nil {
+			return err
+		}
+		if q.Preds[i].Kind == optimizer.PredJoin {
+			if err := fix(&q.Preds[i].RightCol); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range q.Select {
+		s := &q.Select[i]
+		if s.Agg == optimizer.AggCount && s.Col.Column == "" {
+			continue
+		}
+		if err := fix(&s.Col); err != nil {
+			return err
+		}
+	}
+	for i := range q.GroupBy {
+		if err := fix(&q.GroupBy[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

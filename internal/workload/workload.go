@@ -1,0 +1,155 @@
+// Package workload generates the plan-space workloads of the paper's
+// evaluation (Section V): uniform offline samples, and the "random
+// trajectories" online workload in which a cursor wanders along random
+// trajectories through the plan space and query instances are emitted at
+// Gaussian offsets from the cursor (Figure 7).
+//
+// Workloads are sequences of plan space points in [0,1]^r; the experiment
+// harness converts points to concrete query instances via quantile
+// inversion (optimizer.InstanceAt).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Uniform returns n points sampled uniformly from [0,1]^dims.
+func Uniform(dims, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, dims)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TrajectoryConfig configures the random-trajectories workload.
+type TrajectoryConfig struct {
+	// Dims is the plan space dimensionality r.
+	Dims int
+	// NumPoints is the total number of query instances (default 1000).
+	NumPoints int
+	// NumTrajectories is the number of independent cursor trajectories the
+	// points are spread over (default 10).
+	NumTrajectories int
+	// Sigma is the standard deviation r_d of the Gaussian offset between
+	// emitted points and the cursor (the paper sweeps {0.01,…,0.08}).
+	Sigma float64
+	// StepSize is the cursor's movement per emitted point (default 0.02).
+	StepSize float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c TrajectoryConfig) withDefaults() (TrajectoryConfig, error) {
+	if c.Dims <= 0 {
+		return c, fmt.Errorf("workload: Dims must be positive, got %d", c.Dims)
+	}
+	if c.NumPoints == 0 {
+		c.NumPoints = 1000
+	}
+	if c.NumPoints < 1 {
+		return c, fmt.Errorf("workload: NumPoints must be positive, got %d", c.NumPoints)
+	}
+	if c.NumTrajectories == 0 {
+		c.NumTrajectories = 10
+	}
+	if c.NumTrajectories < 1 || c.NumTrajectories > c.NumPoints {
+		return c, fmt.Errorf("workload: NumTrajectories %d out of [1,%d]", c.NumTrajectories, c.NumPoints)
+	}
+	if c.Sigma < 0 {
+		return c, fmt.Errorf("workload: Sigma must be non-negative, got %v", c.Sigma)
+	}
+	if c.StepSize == 0 {
+		c.StepSize = 0.02
+	}
+	if c.StepSize < 0 {
+		return c, fmt.Errorf("workload: StepSize must be positive, got %v", c.StepSize)
+	}
+	return c, nil
+}
+
+// Trajectories generates the random-trajectories workload: NumPoints plan
+// space points along NumTrajectories independent cursor paths, emitted at
+// Gaussian offsets of deviation Sigma from the cursor. Points are clamped
+// to [0,1]^dims.
+func Trajectories(cfg TrajectoryConfig) ([][]float64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([][]float64, 0, cfg.NumPoints)
+	perTraj := cfg.NumPoints / cfg.NumTrajectories
+	extra := cfg.NumPoints % cfg.NumTrajectories
+	for tr := 0; tr < cfg.NumTrajectories; tr++ {
+		n := perTraj
+		if tr < extra {
+			n++
+		}
+		out = append(out, oneTrajectory(cfg, rng, n)...)
+	}
+	return out, nil
+}
+
+// MustTrajectories is like Trajectories but panics on error.
+func MustTrajectories(cfg TrajectoryConfig) [][]float64 {
+	pts, err := Trajectories(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// oneTrajectory walks a cursor from a random start toward successive random
+// waypoints, emitting one Gaussian-offset point per step.
+func oneTrajectory(cfg TrajectoryConfig, rng *rand.Rand, n int) [][]float64 {
+	cursor := make([]float64, cfg.Dims)
+	target := make([]float64, cfg.Dims)
+	for j := range cursor {
+		cursor[j] = rng.Float64()
+		target[j] = rng.Float64()
+	}
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Move the cursor toward the target by StepSize; new waypoint when
+		// close.
+		var distSq float64
+		for j := range cursor {
+			d := target[j] - cursor[j]
+			distSq += d * d
+		}
+		if distSq < cfg.StepSize*cfg.StepSize {
+			for j := range target {
+				target[j] = rng.Float64()
+			}
+		} else {
+			norm := cfg.StepSize / math.Sqrt(distSq)
+			for j := range cursor {
+				cursor[j] += (target[j] - cursor[j]) * norm
+			}
+		}
+		p := make([]float64, cfg.Dims)
+		for j := range p {
+			p[j] = clamp01(cursor[j] + rng.NormFloat64()*cfg.Sigma)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

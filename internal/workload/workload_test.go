@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	pts := Uniform(3, 500, 1)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatalf("dims = %d", len(p))
+		}
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("coordinate %v out of [0,1)", v)
+			}
+		}
+	}
+	// Deterministic per seed; different seeds differ.
+	again := Uniform(3, 500, 1)
+	other := Uniform(3, 500, 2)
+	same, diff := true, false
+	for i := range pts {
+		for j := range pts[i] {
+			if pts[i][j] != again[i][j] {
+				same = false
+			}
+			if pts[i][j] != other[i][j] {
+				diff = true
+			}
+		}
+	}
+	if !same || !diff {
+		t.Errorf("determinism: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestTrajectoriesValidation(t *testing.T) {
+	bad := []TrajectoryConfig{
+		{Dims: 0},
+		{Dims: 2, NumPoints: -1},
+		{Dims: 2, NumPoints: 5, NumTrajectories: 10},
+		{Dims: 2, Sigma: -0.1},
+		{Dims: 2, StepSize: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Trajectories(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTrajectoriesShape(t *testing.T) {
+	pts := MustTrajectories(TrajectoryConfig{Dims: 4, NumPoints: 1000, Sigma: 0.02, Seed: 3})
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 4 {
+			t.Fatalf("dims = %d", len(p))
+		}
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("coordinate %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+// The defining property of the trajectory workload: consecutive points are
+// far closer together than random pairs (temporal locality), which is what
+// makes the online learner's recall climb.
+func TestTrajectoriesTemporalLocality(t *testing.T) {
+	pts := MustTrajectories(TrajectoryConfig{Dims: 2, NumPoints: 1000, Sigma: 0.01, Seed: 4})
+	var adjacent float64
+	for i := 1; i < len(pts); i++ {
+		adjacent += dist(pts[i-1], pts[i])
+	}
+	adjacent /= float64(len(pts) - 1)
+	var random float64
+	for i := 0; i < len(pts)-500; i++ {
+		random += dist(pts[i], pts[i+500])
+	}
+	random /= float64(len(pts) - 500)
+	if adjacent > random/3 {
+		t.Errorf("temporal locality weak: adjacent avg %v, random avg %v", adjacent, random)
+	}
+}
+
+// Larger sigma spreads points farther from the cursor path.
+func TestTrajectoriesSigmaControlsSpread(t *testing.T) {
+	spread := func(sigma float64) float64 {
+		pts := MustTrajectories(TrajectoryConfig{Dims: 2, NumPoints: 2000, Sigma: sigma, Seed: 5})
+		var sum float64
+		for i := 1; i < len(pts); i++ {
+			sum += dist(pts[i-1], pts[i])
+		}
+		return sum / float64(len(pts)-1)
+	}
+	if spread(0.08) <= spread(0.01) {
+		t.Errorf("sigma 0.08 spread (%v) not larger than sigma 0.01 (%v)", spread(0.08), spread(0.01))
+	}
+}
+
+func TestTrajectoriesDeterministic(t *testing.T) {
+	cfg := TrajectoryConfig{Dims: 3, NumPoints: 300, Sigma: 0.02, Seed: 6}
+	a := MustTrajectories(cfg)
+	b := MustTrajectories(cfg)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("trajectories nondeterministic")
+			}
+		}
+	}
+}
+
+func TestTrajectoriesUnevenSplit(t *testing.T) {
+	// 10 points over 3 trajectories: 4+3+3.
+	pts := MustTrajectories(TrajectoryConfig{Dims: 1, NumPoints: 10, NumTrajectories: 3, Sigma: 0, Seed: 7})
+	if len(pts) != 10 {
+		t.Fatalf("len = %d", len(pts))
+	}
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

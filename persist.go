@@ -1,0 +1,159 @@
+package ppc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/optimizer"
+)
+
+// State persistence: a parametric plan cache is only as good as what it
+// has learned, so a System can save its learned state — the per-template
+// histogram synopses, the plan registry, the cached plan trees and their
+// recency order — and restore it after a restart, resuming with warm
+// predictions instead of a cold re-learning phase.
+//
+// The database itself is regenerated deterministically from Options.TPCH,
+// so only the learned state is persisted. Restoring requires a System
+// opened with the same database configuration (enforced via a fingerprint
+// of the generation parameters).
+
+// savedSystem is the gob-encoded persistent form.
+type savedSystem struct {
+	// DBScale and DBSeed fingerprint the database the state was learned on.
+	DBScale int
+	DBSeed  int64
+	// Fingerprints maps dense plan id -> fingerprint, in id order.
+	Fingerprints []string
+	// Templates carries each template's SQL and learner state.
+	Templates []savedTemplate
+	// Plans carries the cached plan trees.
+	Plans []savedPlan
+	// CacheMRU lists cached plan ids from least to most recently used.
+	CacheMRU []int
+}
+
+type savedTemplate struct {
+	Name    string
+	SQL     string
+	Learner []byte
+}
+
+type savedPlan struct {
+	ID       int
+	Template string
+	Root     *optimizer.Node
+	Cost     float64
+	Print    string
+}
+
+// SaveState writes the system's learned state to w.
+func (s *System) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := savedSystem{DBScale: s.opts.TPCH.Scale, DBSeed: s.opts.TPCH.Seed}
+	for id := 0; ; id++ {
+		fp := s.reg.Fingerprint(id)
+		if fp == "" {
+			break
+		}
+		out.Fingerprints = append(out.Fingerprints, fp)
+	}
+	for _, name := range s.templateNamesLocked() {
+		st := s.templates[name]
+		var buf bytes.Buffer
+		if err := st.online.EncodeState(&buf); err != nil {
+			return fmt.Errorf("ppc: save template %s: %w", name, err)
+		}
+		out.Templates = append(out.Templates, savedTemplate{
+			Name: name, SQL: st.tmpl.SQL, Learner: buf.Bytes(),
+		})
+	}
+	for id, entry := range s.planByID {
+		out.Plans = append(out.Plans, savedPlan{
+			ID: id, Template: entry.template,
+			Root: entry.plan.Root, Cost: entry.plan.Cost, Print: entry.plan.Fingerprint,
+		})
+	}
+	// Preserve recency: the cache exposes no iteration, so approximate by
+	// saving membership; hits re-establish order quickly. Membership is
+	// what matters for avoiding re-optimization.
+	for id := range s.planByID {
+		if s.cache.Contains(id) {
+			out.CacheMRU = append(out.CacheMRU, id)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&out)
+}
+
+// LoadState restores state written by SaveState into a freshly opened
+// System (no templates registered, nothing run yet). The System must have
+// been opened with the same database configuration.
+func (s *System) LoadState(r io.Reader) error {
+	var in savedSystem
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("ppc: load state: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if in.DBScale != s.opts.TPCH.Scale || in.DBSeed != s.opts.TPCH.Seed {
+		return fmt.Errorf("ppc: state was learned on database scale=%d seed=%d, this system has scale=%d seed=%d",
+			in.DBScale, in.DBSeed, s.opts.TPCH.Scale, s.opts.TPCH.Seed)
+	}
+	if s.reg.Count() != 0 || len(s.templates) != 0 {
+		return fmt.Errorf("ppc: LoadState requires a fresh System")
+	}
+	// Rebuild the registry with identical dense ids.
+	for want, fp := range in.Fingerprints {
+		if got := s.reg.ID(fp); got != want {
+			return fmt.Errorf("ppc: registry rebuild mismatch: %q -> %d, want %d", fp, got, want)
+		}
+	}
+	// Re-register templates and restore their learners.
+	for _, st := range in.Templates {
+		if err := s.registerLocked(st.Name, st.SQL); err != nil {
+			return err
+		}
+		if err := s.templates[st.Name].online.DecodeState(bytes.NewReader(st.Learner)); err != nil {
+			return fmt.Errorf("ppc: restore template %s: %w", st.Name, err)
+		}
+	}
+	// Restore plan trees and cache membership.
+	for _, sp := range in.Plans {
+		if sp.Root == nil {
+			return fmt.Errorf("ppc: plan %d has no tree", sp.ID)
+		}
+		s.planByID[sp.ID] = &cachedPlan{
+			template: sp.Template,
+			plan:     &optimizer.Plan{Root: sp.Root, Cost: sp.Cost, Fingerprint: sp.Print},
+		}
+	}
+	for _, id := range in.CacheMRU {
+		entry, ok := s.planByID[id]
+		if !ok {
+			continue
+		}
+		s.cache.Put(id, entry.plan)
+	}
+	return nil
+}
+
+// templateNamesLocked returns sorted template names; callers hold s.mu.
+func (s *System) templateNamesLocked() []string {
+	names := make([]string, 0, len(s.templates))
+	for n := range s.templates {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package ppc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+func warmSystem(t *testing.T, seed int64) (*System, [][]float64) {
+	t.Helper()
+	sys, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Q0", "Q1"} {
+		var def string
+		for _, d := range queries.Defs {
+			if d.Name == name {
+				def = d.SQL
+			}
+		}
+		if err := sys.Register(name, def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(seed))
+	var values [][]float64
+	for i := 0; i < 120; i++ {
+		point := []float64{0.25 + rng.Float64()*0.1, 0.25 + rng.Float64()*0.1}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, inst.Values)
+		if _, err := sys.Run("Q1", inst.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, values
+}
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	warm, values := warmSystem(t, 1)
+	var buf bytes.Buffer
+	if err := warm.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warmStats, _ := warm.TemplateStats("Q1")
+	if warmStats.SamplesAbsorbed == 0 {
+		t.Fatal("warm system absorbed nothing; test is vacuous")
+	}
+
+	cold, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Templates and learned samples must be back.
+	restored, err := cold.TemplateStats("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SamplesAbsorbed != warmStats.SamplesAbsorbed {
+		t.Errorf("restored %d samples, want %d", restored.SamplesAbsorbed, warmStats.SamplesAbsorbed)
+	}
+	if cold.CacheLen() == 0 {
+		t.Error("restored cache is empty")
+	}
+	// The restored system must serve the warmed neighborhood from cache
+	// immediately — no re-learning phase.
+	hits := 0
+	for _, vals := range values[:40] {
+		res, err := cold.Run("Q1", vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			hits++
+		}
+	}
+	if hits < 25 {
+		t.Errorf("only %d/40 cache hits after restore; warm state lost", hits)
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	warm, _ := warmSystem(t, 2)
+	var buf bytes.Buffer
+	if err := warm.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong database configuration must be rejected.
+	other, err := Open(Options{TPCH: tpch.Config{Scale: 1000, Seed: 5}, Online: onlineForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("LoadState accepted state from a different database")
+	}
+	// Non-fresh system must be rejected.
+	used, _ := warmSystem(t, 3)
+	if err := used.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("LoadState accepted a non-fresh system")
+	}
+	// Garbage must fail cleanly.
+	fresh, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(bytes.NewReader([]byte("not a state"))); err == nil {
+		t.Error("LoadState accepted garbage")
+	}
+}
+
+func TestRestoredPredictionsIdentical(t *testing.T) {
+	// Predictions of a restored learner must be bit-identical to the
+	// original's (the transforms regenerate from the persisted seed).
+	warm, _ := warmSystem(t, 4)
+	var buf bytes.Buffer
+	if err := warm.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := warm.Template("Q1")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		point := []float64{rng.Float64(), rng.Float64()}
+		inst, err := warm.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := warm.Run("Q1", inst.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cold.Run("Q1", inst.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both systems evolve as they run; compare the executed results,
+		// which must agree regardless of plan choice.
+		if len(a.Result.Rows) != len(b.Result.Rows) {
+			t.Fatalf("row count diverged at %d: %d vs %d", i, len(a.Result.Rows), len(b.Result.Rows))
+		}
+		if len(a.Result.Rows) > 0 && a.Result.Rows[0][1].Num != b.Result.Rows[0][1].Num {
+			t.Fatalf("results diverged at %d", i)
+		}
+	}
+}

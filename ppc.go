@@ -1,0 +1,450 @@
+// Package ppc is the public facade of the parametric plan caching (PPC)
+// reproduction: it wires the TPC-H-style database substrate, the cost-based
+// optimizer, the bulk executor, the bounded plan cache, and one online
+// density-based plan space learner per registered query template
+// (ONLINE-APPROXIMATE-LSH-HISTOGRAMS, paper Sections IV-C/D/E) into a
+// single System that applications drive with SQL templates and parameter
+// values.
+//
+// Typical use:
+//
+//	sys, err := ppc.Open(ppc.Options{})
+//	sys.Register("Q1", `SELECT s.s_suppkey, COUNT(*) FROM supplier s, lineitem l
+//	                    WHERE l.l_suppkey = s.s_suppkey AND s.s_date <= ? AND l.l_partkey <= ?
+//	                    GROUP BY s.s_suppkey`)
+//	res, err := sys.Run("Q1", []float64{900, 1200})
+//	// res.CacheHit tells whether optimization was bypassed;
+//	// res.Result carries the executed rows.
+//
+// The workflow matches the paper's Figure 1: every instance is mapped to
+// its plan space point (the selectivity vector of its parameterized
+// predicates); the learner predicts a cached plan or defers to the
+// optimizer; optimizer-validated points feed the histogram synopses; and
+// sliding-window precision estimates drive cache eviction and drift
+// recovery.
+package ppc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/plancache"
+	"repro/internal/queries"
+	"repro/internal/sqlparse"
+	"repro/internal/tpch"
+)
+
+// Options configures a System.
+type Options struct {
+	// TPCH configures the generated database; zero value uses
+	// tpch.DefaultConfig().
+	TPCH tpch.Config
+	// CatalogBuckets is the per-column histogram resolution (0 = default).
+	CatalogBuckets int
+	// CacheCapacity bounds the plan cache (default 64 plans).
+	CacheCapacity int
+	// Online configures the per-template learners; the Core.Dims field is
+	// overridden per template with its parameter degree.
+	Online core.OnlineConfig
+	// ExecutePlans controls whether Run actually executes plans against
+	// the in-memory database (default true). Disable for prediction-only
+	// workloads (e.g. large parameter sweeps).
+	ExecutePlans bool
+	// DisableExecution is the explicit off switch for ExecutePlans.
+	DisableExecution bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TPCH.Scale == 0 {
+		o.TPCH = tpch.DefaultConfig()
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 64
+	}
+	if o.Online.Core.Radius == 0 {
+		o.Online.Core.Radius = 0.05
+	}
+	if o.Online.Core.NoiseFraction == 0 {
+		o.Online.Core.NoiseElimination = true
+	}
+	// The paper's online safety rails are on by default: cost-based
+	// negative feedback and a low random audit rate.
+	if !o.Online.NegativeFeedback {
+		o.Online.NegativeFeedback = true
+	}
+	if o.Online.InvocationProb == 0 {
+		o.Online.InvocationProb = 0.05
+	}
+	o.ExecutePlans = !o.DisableExecution
+	return o
+}
+
+// System is an open PPC-enabled database instance. Safe for concurrent use
+// by multiple goroutines.
+type System struct {
+	mu sync.Mutex
+
+	db   *tpch.Database
+	cat  *catalog.Catalog
+	opt  *optimizer.Optimizer
+	exec *executor.Executor
+	reg  *optimizer.Registry
+
+	cache     *plancache.Cache
+	planByID  map[int]*cachedPlan
+	templates map[string]*templateState
+	opts      Options
+}
+
+// cachedPlan pairs a physical plan with the template it belongs to.
+type cachedPlan struct {
+	template string
+	plan     *optimizer.Plan
+}
+
+type templateState struct {
+	tmpl   *optimizer.Template
+	online *core.Online
+	env    *planEnv
+}
+
+// Open generates the database, builds statistics, and initializes the
+// optimizer, executor and plan cache.
+func Open(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	db, err := tpch.Generate(opts.TPCH)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Build(db, opts.CatalogBuckets)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		db:        db,
+		cat:       cat,
+		opt:       optimizer.New(db, cat),
+		exec:      executor.New(db),
+		reg:       optimizer.NewRegistry(),
+		planByID:  make(map[int]*cachedPlan),
+		templates: make(map[string]*templateState),
+		opts:      opts,
+	}
+	s.cache = plancache.MustNew(opts.CacheCapacity, s.planPrecision)
+	return s, nil
+}
+
+// MustOpen is like Open but panics on error.
+func MustOpen(opts Options) *System {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DB exposes the generated database (read-only use).
+func (s *System) DB() *tpch.Database { return s.db }
+
+// Catalog exposes the statistics catalog.
+func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// Optimizer exposes the cost-based optimizer.
+func (s *System) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// Registry exposes the plan fingerprint registry.
+func (s *System) Registry() *optimizer.Registry { return s.reg }
+
+// Register parses a SQL template and attaches an online learner to it.
+func (s *System) Register(name, sql string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(name, sql)
+}
+
+// registerLocked implements Register; callers hold s.mu.
+func (s *System) registerLocked(name, sql string) error {
+	if _, dup := s.templates[name]; dup {
+		return fmt.Errorf("ppc: template %s already registered", name)
+	}
+	q, err := sqlparse.Parse(sql, queries.Schema)
+	if err != nil {
+		return err
+	}
+	tmpl, err := optimizer.NewTemplate(name, sql, q)
+	if err != nil {
+		return err
+	}
+	env := &planEnv{sys: s, tmpl: tmpl}
+	cfg := s.opts.Online
+	cfg.Core.Dims = tmpl.Degree()
+	cfg.Core.OutDims = 0 // per-template default
+	online, err := core.NewOnline(cfg, env)
+	if err != nil {
+		return err
+	}
+	s.templates[name] = &templateState{tmpl: tmpl, online: online, env: env}
+	return nil
+}
+
+// RegisterStandard registers the paper's Q0–Q8 templates.
+func (s *System) RegisterStandard() error {
+	for _, d := range queries.Defs {
+		if err := s.Register(d.Name, d.SQL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Template returns a registered template.
+func (s *System) Template(name string) (*optimizer.Template, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.templates[name]
+	if st == nil {
+		return nil, fmt.Errorf("ppc: template %s not registered", name)
+	}
+	return st.tmpl, nil
+}
+
+// TemplateNames returns the registered template names, sorted.
+func (s *System) TemplateNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.templates))
+	for n := range s.templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunResult reports one query execution through the PPC pipeline.
+type RunResult struct {
+	// Template and Values identify the instance.
+	Template string
+	Values   []float64
+	// Point is the instance's plan space point (predicate selectivities).
+	Point []float64
+	// PlanID and Fingerprint identify the executed plan.
+	PlanID      int
+	Fingerprint string
+	// CacheHit is true when a cached plan was reused without optimizing.
+	CacheHit bool
+	// Invoked is true when the optimizer ran.
+	Invoked bool
+	// OptimizeTime is the wall time spent in the optimizer (0 on hits);
+	// PredictTime is the learner's decision time.
+	OptimizeTime time.Duration
+	PredictTime  time.Duration
+	ExecuteTime  time.Duration
+	// EstimatedCost is the cost model's estimate for the executed plan at
+	// this instance.
+	EstimatedCost float64
+	// Result holds the executed rows (nil when execution is disabled).
+	Result *executor.Result
+}
+
+// Run pushes one query instance through the full PPC workflow of Figure 1.
+func (s *System) Run(template string, values []float64) (*RunResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.templates[template]
+	if st == nil {
+		return nil, fmt.Errorf("ppc: template %s not registered", template)
+	}
+	inst, err := st.tmpl.Instantiate(values)
+	if err != nil {
+		return nil, err
+	}
+	point, err := s.opt.SelectivityPoint(inst)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Template: template, Values: values, Point: point}
+
+	// The learner decides: cached plan or optimizer.
+	st.env.lastErr = nil
+	t0 := time.Now()
+	decision := st.online.Step(point)
+	decide := time.Since(t0)
+	if st.env.lastErr != nil {
+		return nil, st.env.lastErr
+	}
+	res.PlanID = decision.Plan
+	res.CacheHit = decision.CacheHit
+	res.Invoked = decision.Invoked
+	res.PredictTime = decide - st.env.lastOptTime
+	if res.PredictTime < 0 {
+		res.PredictTime = 0
+	}
+	res.OptimizeTime = st.env.lastOptTime
+	st.env.lastOptTime = 0
+
+	// Fetch the plan to execute: on a hit, rebind the cached tree; on an
+	// invocation the environment has already cached the fresh plan.
+	entry, ok := s.planByID[decision.Plan]
+	if !ok {
+		// The predicted plan's tree was evicted from the cache: optimize
+		// afresh (a cache miss despite a correct prediction).
+		t1 := time.Now()
+		plan, err := s.opt.OptimizeInstance(inst)
+		if err != nil {
+			return nil, err
+		}
+		res.OptimizeTime += time.Since(t1)
+		res.Invoked = true
+		res.CacheHit = false
+		id := s.reg.ID(plan.Fingerprint)
+		entry = &cachedPlan{template: template, plan: plan}
+		s.planByID[id] = entry
+		if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
+			delete(s.planByID, evicted)
+		}
+		res.PlanID = id
+	}
+	bound, err := s.opt.Recost(st.tmpl.Query, entry.plan, values)
+	if err != nil {
+		return nil, err
+	}
+	res.Fingerprint = entry.plan.Fingerprint
+	res.EstimatedCost = bound.Cost
+	s.cache.Get(decision.Plan) // refresh recency
+
+	if s.opts.ExecutePlans {
+		t1 := time.Now()
+		out, err := s.exec.Run(bound)
+		if err != nil {
+			return nil, err
+		}
+		res.ExecuteTime = time.Since(t1)
+		res.Result = out
+	}
+	return res, nil
+}
+
+// Stats summarizes a template's learner state.
+type Stats struct {
+	Template        string
+	Degree          int
+	SamplesAbsorbed int
+	SynopsisBytes   int
+	Precision       float64
+	PrecisionKnown  bool
+	Recall          float64
+	RecallKnown     bool
+	Resets          int
+}
+
+// TemplateStats reports the online learner's state for one template.
+func (s *System) TemplateStats(template string) (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.templates[template]
+	if st == nil {
+		return Stats{}, fmt.Errorf("ppc: template %s not registered", template)
+	}
+	est := st.online.Estimator()
+	out := Stats{
+		Template:        template,
+		Degree:          st.tmpl.Degree(),
+		SamplesAbsorbed: st.online.Predictor().TotalPoints(),
+		SynopsisBytes:   st.online.Predictor().MemoryBytes(),
+		Resets:          st.online.Resets(),
+	}
+	out.Precision, out.PrecisionKnown = est.Precision()
+	out.Recall, out.RecallKnown = est.Recall()
+	return out, nil
+}
+
+// CacheLen returns the number of plans currently cached.
+func (s *System) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Len()
+}
+
+// CacheEvictions returns the number of evictions performed so far.
+func (s *System) CacheEvictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Evictions()
+}
+
+// planPrecision adapts the per-plan sliding-window precision estimates to
+// the cache eviction policy.
+func (s *System) planPrecision(planID int) (float64, bool) {
+	entry, ok := s.planByID[planID]
+	if !ok {
+		return 0, false
+	}
+	st := s.templates[entry.template]
+	if st == nil {
+		return 0, false
+	}
+	return st.online.Estimator().PlanPrecision(planID)
+}
+
+// planEnv adapts the optimizer to the learner's Environment interface for
+// one template. It is called with the System lock held.
+type planEnv struct {
+	sys         *System
+	tmpl        *optimizer.Template
+	lastErr     error
+	lastOptTime time.Duration
+}
+
+// Optimize implements core.Environment: invoke the real optimizer at plan
+// space point x, intern the plan, and cache it.
+func (e *planEnv) Optimize(x []float64) (int, float64) {
+	t0 := time.Now()
+	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
+	if err != nil {
+		e.lastErr = err
+		return 0, 0
+	}
+	plan, err := e.sys.opt.OptimizeInstance(inst)
+	if err != nil {
+		e.lastErr = err
+		return 0, 0
+	}
+	e.lastOptTime += time.Since(t0)
+	id := e.sys.reg.ID(plan.Fingerprint)
+	e.sys.planByID[id] = &cachedPlan{template: e.tmpl.Name, plan: plan}
+	if evicted := e.sys.cache.Put(id, plan); evicted >= 0 && evicted != id {
+		// Keep the tree for plans still referenced by the learner's
+		// histograms; only the cache slot is reclaimed. The index entry is
+		// dropped so Run re-optimizes if the plan is predicted again.
+		delete(e.sys.planByID, evicted)
+	}
+	return id, plan.Cost
+}
+
+// ExecuteCost implements core.Environment: the execution cost of a given
+// (possibly stale) plan at x, via plan rebinding and recosting.
+func (e *planEnv) ExecuteCost(x []float64, planID int) float64 {
+	entry, ok := e.sys.planByID[planID]
+	if !ok {
+		// Plan fell out of the cache; behave like a severe cost surprise so
+		// the learner re-optimizes.
+		return 0
+	}
+	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
+	if err != nil {
+		e.lastErr = err
+		return 0
+	}
+	re, err := e.sys.opt.Recost(e.tmpl.Query, entry.plan, inst.Values)
+	if err != nil {
+		e.lastErr = err
+		return 0
+	}
+	return re.Cost
+}
