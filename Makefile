@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race chaos clean
+
+# The gate: build, vet, and the full test suite under the race detector.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection / breaker / snapshot-damage suite.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestConcurrent' -v .
+
+clean:
+	$(GO) clean ./...

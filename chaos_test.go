@@ -1,0 +1,410 @@
+package ppc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/tpch"
+)
+
+// Chaos suite: the System is driven through the paper's Q0–Q8 templates
+// with every fault class injected. The hardening contract under test:
+//
+//   - no panic escapes the ppc.System API;
+//   - every Run either succeeds with a correct result or returns a typed
+//     error (an injected *PipelineError — never an *InternalError, which
+//     would mean a recovered panic, i.e. a bug);
+//   - circuit breakers trip under sustained failure and re-close once the
+//     faults stop;
+//   - corrupted snapshots are detected at load and degrade the System to a
+//     cold learner instead of failing.
+
+// chaosBreaker is a fast-recovery breaker configuration for tests.
+func chaosBreaker() metrics.BreakerConfig {
+	return metrics.BreakerConfig{
+		FailureThreshold: 3,
+		PrecisionFloor:   -1, // error trips only; precision has its own test
+		Cooldown:         3,
+		ProbeSuccesses:   1,
+	}
+}
+
+// assertTyped fails the test unless err is nil or a typed, injected error.
+func assertTyped(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		t.Fatalf("panic escaped as *InternalError: %v\n%s", err, ie.Stack)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("untyped error from Run: %v", err)
+	}
+	if !IsInjectedFault(err) {
+		t.Fatalf("organic pipeline failure during chaos run: %v", err)
+	}
+}
+
+// TestChaosAllFaultClasses drives Q0–Q8 under each fault class in turn,
+// then disables injection and verifies every tripped breaker re-closes.
+func TestChaosAllFaultClasses(t *testing.T) {
+	// A clean reference system answers "what rows should this instance
+	// return"; it shares the deterministic TPC-H configuration.
+	ref, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, class := range faults.Classes {
+		t.Run(class.String(), func(t *testing.T) {
+			inj := faults.New(42).Enable(class, 0.3)
+			inj.SetLatency(200 * time.Microsecond)
+			sys, err := Open(Options{
+				TPCH:    tpch.Config{Scale: 2000, Seed: 5},
+				Online:  onlineForTest(),
+				Breaker: chaosBreaker(),
+				Faults:  inj,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.RegisterStandard(); err != nil {
+				t.Fatal(err)
+			}
+			names := sys.TemplateNames()
+			rng := rand.New(rand.NewSource(7))
+			run := func(i int, faulted bool) {
+				name := names[i%len(names)]
+				tmpl, err := sys.Template(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Tight neighborhoods so the learner warms up and actually
+				// serves predictions (a prerequisite for misprediction
+				// injection to fire).
+				point := make([]float64, tmpl.Degree())
+				for j := range point {
+					point[j] = 0.25 + rng.Float64()*0.1
+				}
+				inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run(name, inst.Values)
+				if faulted {
+					assertTyped(t, err)
+				} else if err != nil {
+					t.Fatalf("run failed after faults disabled: %v", err)
+				}
+				if err != nil {
+					return
+				}
+				// Successful runs must be correct: same rows as the clean
+				// reference system for the same instance.
+				if i%3 == 0 {
+					want, err := ref.Run(name, inst.Values)
+					if err != nil {
+						t.Fatalf("reference run: %v", err)
+					}
+					if fmt.Sprint(res.Result.Rows) != fmt.Sprint(want.Result.Rows) {
+						t.Fatalf("%s: faulted system returned wrong rows", name)
+					}
+				}
+			}
+			// Mispredictions only fire once the learner serves predictions,
+			// so that class needs a longer workload to warm up first.
+			rounds := 6 * len(names)
+			if class == faults.LearnerMisprediction {
+				rounds = 30 * len(names)
+			}
+			for i := 0; i < rounds; i++ {
+				run(i, true)
+			}
+			if class != faults.SnapshotCorruption && inj.Fired(class) == 0 {
+				t.Fatalf("fault class %s never fired", class)
+			}
+
+			// SnapshotCorruption does not touch the Run path; exercise it
+			// through a save/load cycle inside its class iteration.
+			if class == faults.SnapshotCorruption {
+				inj.Enable(class, 1) // a single save must corrupt deterministically
+				var buf bytes.Buffer
+				if err := sys.SaveState(&buf); err != nil {
+					t.Fatalf("SaveState with corruption injection: %v", err)
+				}
+				if inj.Fired(class) == 0 {
+					t.Fatal("snapshot corruption never fired")
+				}
+				cold, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cold.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("corrupt snapshot must degrade, not fail: %v", err)
+				}
+				rep := cold.LoadStateReport()
+				if rep == nil || !rep.Corrupt {
+					t.Fatalf("corruption undetected: %+v", rep)
+				}
+			}
+
+			// Faults off: the system must heal. Every breaker that tripped
+			// has to walk open → half-open → closed on healthy traffic.
+			inj.DisableAll()
+			for i := 0; i < 6*len(names); i++ {
+				run(i, false)
+			}
+			for _, name := range names {
+				h, err := sys.TemplateHealth(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h.Breaker.State != "closed" {
+					t.Errorf("%s breaker stuck %s after recovery: %+v", name, h.Breaker.State, h.Breaker)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosBreakerTripAndRecover pins the breaker lifecycle on one template
+// under a hard optimizer outage: trip on consecutive learner errors, serve
+// typed errors while the optimizer is down, then recover through probes.
+func TestChaosBreakerTripAndRecover(t *testing.T) {
+	inj := faults.New(1).Enable(faults.OptimizerError, 1)
+	sys, err := Open(Options{
+		TPCH:    tpch.Config{Scale: 2000, Seed: 5},
+		Online:  onlineForTest(),
+		Breaker: metrics.BreakerConfig{FailureThreshold: 3, PrecisionFloor: -1, Cooldown: 4, ProbeSuccesses: 2},
+		Faults:  inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(3))
+	instance := func() []float64 {
+		point := []float64{0.25 + rng.Float64()*0.1, 0.25 + rng.Float64()*0.1}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.Values
+	}
+
+	// With the optimizer hard-down and a cold learner, every Run must fail
+	// with a typed injected error — and never a panic.
+	for i := 0; i < 20; i++ {
+		_, err := sys.Run("Q1", instance())
+		if err == nil {
+			t.Fatalf("run %d succeeded with optimizer hard-down", i)
+		}
+		assertTyped(t, err)
+	}
+	h, err := sys.TemplateHealth("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Breaker.ErrorTrips == 0 {
+		t.Fatalf("breaker never tripped on errors: %+v", h.Breaker)
+	}
+	if h.LearnerErrors == 0 {
+		t.Fatalf("no learner errors counted: %+v", h)
+	}
+
+	// Outage over: the breaker must finish its cooldown in degraded mode
+	// (optimizer-direct, successful) and re-close via probes.
+	inj.DisableAll()
+	sawDegraded := false
+	for i := 0; i < 20; i++ {
+		res, err := sys.Run("Q1", instance())
+		if err != nil {
+			t.Fatalf("run %d failed after outage ended: %v", i, err)
+		}
+		if res.Degraded {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Error("no degraded (optimizer-direct) runs during recovery")
+	}
+	h, _ = sys.TemplateHealth("Q1")
+	if h.Breaker.State != "closed" {
+		t.Fatalf("breaker did not re-close: %+v", h.Breaker)
+	}
+	if h.DegradedRuns == 0 {
+		t.Fatalf("degraded runs not counted: %+v", h)
+	}
+
+	// Closed again: normal serving, no degradation.
+	res, err := sys.Run("Q1", instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("still degraded after breaker closed")
+	}
+}
+
+// TestChaosPrecisionCollapseTrips verifies the second trip signal: a warm
+// learner whose predictions go bad (injected mispredictions caught by the
+// Section IV-E cost detector) collapses the sliding-window precision and
+// trips the breaker — queries keep succeeding via the optimizer.
+func TestChaosPrecisionCollapseTrips(t *testing.T) {
+	inj := faults.New(8)
+	sys, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+		Breaker: metrics.BreakerConfig{
+			FailureThreshold: 3, PrecisionFloor: 0.2, PrecisionMinSamples: 15,
+			Cooldown: 5, ProbeSuccesses: 1,
+		},
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(6))
+	runOne := func() *RunResult {
+		point := []float64{0.25 + rng.Float64()*0.1, 0.25 + rng.Float64()*0.1}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run("Q1", inst.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Warm the learner on a tight neighborhood until it predicts well.
+	for i := 0; i < 150; i++ {
+		runOne()
+	}
+	st, _ := sys.TemplateStats("Q1")
+	if !st.PrecisionKnown || st.Precision < 0.5 {
+		t.Fatalf("warm-up failed: precision %.2f (known=%v)", st.Precision, st.PrecisionKnown)
+	}
+
+	// Garble every prediction. The cost detector flags the mispredictions,
+	// the window precision collapses, the breaker trips — and every query
+	// still succeeds (wrong predictions are recovered by re-optimizing).
+	inj.Enable(faults.LearnerMisprediction, 1)
+	tripped := false
+	for i := 0; i < 300 && !tripped; i++ {
+		runOne()
+		h, err := sys.TemplateHealth("Q1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tripped = h.Breaker.PrecisionTrips > 0
+	}
+	if !tripped {
+		t.Fatal("precision collapse never tripped the breaker")
+	}
+
+	// Mispredictions stop; the learner still holds valid histograms, so
+	// probe traffic succeeds and the breaker re-closes.
+	inj.DisableAll()
+	for i := 0; i < 60; i++ {
+		runOne()
+	}
+	h, _ := sys.TemplateHealth("Q1")
+	if h.Breaker.State != "closed" {
+		t.Fatalf("breaker did not recover from precision trip: %+v", h.Breaker)
+	}
+}
+
+// TestChaosSnapshotDamage covers the non-injected corruption modes:
+// truncation and bit flips must be detected by the checksummed envelope and
+// degrade the System to a cold learner; the intact snapshot must still load.
+func TestChaosSnapshotDamage(t *testing.T) {
+	warm, _ := warmSystem(t, 10)
+	var buf bytes.Buffer
+	if err := warm.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	fresh := func() *System {
+		sys, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated-header", good[:10]},
+		{"truncated-payload", good[:len(good)/2]},
+		{"bit-flip-payload", flipByte(good, len(good)-5)},
+		{"bit-flip-header", flipByte(good, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := fresh()
+			if err := sys.LoadState(bytes.NewReader(tc.data)); err != nil {
+				t.Fatalf("damaged snapshot must degrade, not fail: %v", err)
+			}
+			rep := sys.LoadStateReport()
+			if rep == nil || !rep.Corrupt {
+				t.Fatalf("damage undetected: %+v", rep)
+			}
+			// The cold System must remain fully usable.
+			if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+				t.Fatal(err)
+			}
+			tmpl, _ := sys.Template("Q1")
+			inst, err := sys.Optimizer().InstanceAt(tmpl, []float64{0.3, 0.3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run("Q1", inst.Values); err != nil {
+				t.Fatalf("cold system cannot run: %v", err)
+			}
+		})
+	}
+
+	// Control: the undamaged snapshot still restores warm state.
+	sys := fresh()
+	if err := sys.LoadState(bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.LoadStateReport()
+	if rep == nil || rep.Corrupt {
+		t.Fatalf("intact snapshot misreported: %+v", rep)
+	}
+	if rep.Templates == 0 || rep.Plans == 0 {
+		t.Fatalf("intact snapshot restored nothing: %+v", rep)
+	}
+}
+
+// flipByte returns a copy of b with the byte at off inverted.
+func flipByte(b []byte, off int) []byte {
+	out := append([]byte(nil), b...)
+	out[off] ^= 0xFF
+	return out
+}

@@ -1,10 +1,12 @@
 package ppc
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/queries"
 	"repro/internal/tpch"
 )
@@ -110,5 +112,105 @@ func TestConcurrentRegisterAndRun(t *testing.T) {
 	wg.Wait()
 	if got := len(sys.TemplateNames()); got != 9 {
 		t.Errorf("templates = %d", got)
+	}
+}
+
+// Chaos under concurrency: parallel goroutines run queries while faults
+// fire and another goroutine repeatedly snapshots the live system. Injected
+// failures are tolerated (typed), anything else — including data races
+// under -race — fails the test.
+func TestConcurrentRunsUnderFaults(t *testing.T) {
+	inj := faults.New(99).
+		Enable(faults.OptimizerError, 0.15).
+		Enable(faults.ExecutorError, 0.15).
+		Enable(faults.LearnerMisprediction, 0.15)
+	sys, err := Open(Options{
+		TPCH:    tpch.Config{Scale: 2000, Seed: 5},
+		Online:  onlineForTest(),
+		Breaker: chaosBreaker(),
+		Faults:  inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Q0", "Q1", "Q2", "Q3"}
+	var wg sync.WaitGroup
+	for gi, name := range names {
+		wg.Add(1)
+		go func(gi int, name string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			tmpl, err := sys.Template(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				point := make([]float64, tmpl.Degree())
+				for j := range point {
+					point[j] = 0.25 + rng.Float64()*0.1
+				}
+				inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, err = sys.Run(name, inst.Values)
+				if err != nil && !IsInjectedFault(err) {
+					t.Errorf("%s: non-injected failure under chaos: %v", name, err)
+					return
+				}
+			}
+		}(gi, name)
+	}
+	// Snapshot the live system concurrently with the runs (and with
+	// SnapshotCorruption armed for some of the saves).
+	var lastGood bytes.Buffer
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if i == 4 {
+				inj.Enable(faults.SnapshotCorruption, 1)
+			}
+			var buf bytes.Buffer
+			if err := sys.SaveState(&buf); err != nil {
+				t.Errorf("concurrent SaveState: %v", err)
+				return
+			}
+			if i < 4 {
+				lastGood = buf
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The snapshot taken mid-chaos must restore (or detectably degrade) on
+	// a fresh system.
+	cold, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.LoadState(bytes.NewReader(lastGood.Bytes())); err != nil {
+		t.Fatalf("restore of mid-chaos snapshot: %v", err)
+	}
+	if rep := cold.LoadStateReport(); rep == nil || rep.Corrupt {
+		t.Fatalf("clean mid-chaos snapshot misreported: %+v", rep)
+	}
+	// The faulted system must have made progress despite the chaos.
+	for _, name := range names {
+		st, err := sys.TemplateStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SamplesAbsorbed == 0 {
+			t.Errorf("%s absorbed no samples under chaos", name)
+		}
 	}
 }

@@ -1,9 +1,12 @@
 package ppc
 
 import (
+	"testing"
+
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
+	"repro/internal/queries"
 )
 
 // onlineForTest returns an online configuration suited to small test
@@ -21,4 +24,16 @@ func onlineForTest() core.OnlineConfig {
 // path.
 func execDirect(sys *System, plan *optimizer.Plan) (*executor.Result, error) {
 	return executor.New(sys.DB()).Run(plan)
+}
+
+// mustSQL returns the SQL of a standard template by name.
+func mustSQL(t *testing.T, name string) string {
+	t.Helper()
+	for _, d := range queries.Defs {
+		if d.Name == name {
+			return d.SQL
+		}
+	}
+	t.Fatalf("no standard template %s", name)
+	return ""
 }

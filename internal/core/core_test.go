@@ -274,16 +274,26 @@ func (e *quadrantEnv) plan(x []float64) int {
 	return p
 }
 
-func (e *quadrantEnv) Optimize(x []float64) (int, float64) {
+func (e *quadrantEnv) Optimize(x []float64) (int, float64, error) {
 	e.optimizeCalls++
-	return e.plan(x), quadrantCost(x)
+	return e.plan(x), quadrantCost(x), nil
 }
 
-func (e *quadrantEnv) ExecuteCost(x []float64, plan int) float64 {
+func (e *quadrantEnv) ExecuteCost(x []float64, plan int) (float64, error) {
 	if plan == e.plan(x) {
-		return quadrantCost(x)
+		return quadrantCost(x), nil
 	}
-	return quadrantCost(x) * e.wrongFactor
+	return quadrantCost(x) * e.wrongFactor, nil
+}
+
+// mustStep runs one driver step, failing the test on an environment error.
+func mustStep(t *testing.T, o *Online, x []float64) Decision {
+	t.Helper()
+	d, err := o.Step(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestOnlineWarmUpAndSteadyState(t *testing.T) {
@@ -298,7 +308,7 @@ func TestOnlineWarmUpAndSteadyState(t *testing.T) {
 	const n = 2000
 	for i := 0; i < n; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d := o.Step(x)
+		d := mustStep(t, o, x)
 		if d.Invoked && i < n/4 {
 			earlyInvocations++
 		}
@@ -335,7 +345,7 @@ func TestOnlinePredictionsAreAccurate(t *testing.T) {
 	correct, predicted := 0, 0
 	for i := 0; i < 3000; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d := o.Step(x)
+		d := mustStep(t, o, x)
 		if i > 1000 && d.Predicted && d.CacheHit {
 			predicted++
 			if d.Plan == env.plan(x) {
@@ -367,13 +377,13 @@ func TestOnlineNegativeFeedbackCorrects(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	for i := 0; i < 1500; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		o.Step(x)
+		mustStep(t, o, x)
 	}
 	env.shift = true
 	var corrections, resets int
 	for i := 0; i < 600; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d := o.Step(x)
+		d := mustStep(t, o, x)
 		if d.FeedbackCorrection {
 			corrections++
 		}
@@ -391,7 +401,7 @@ func TestOnlineNegativeFeedbackCorrects(t *testing.T) {
 	correct, predicted := 0, 0
 	for i := 0; i < 2000; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d := o.Step(x)
+		d := mustStep(t, o, x)
 		if i > 1000 && d.CacheHit {
 			predicted++
 			if d.Plan == env.plan(x) {
@@ -418,7 +428,7 @@ func TestOnlineRandomInvocationsAudit(t *testing.T) {
 	randomInvocations := 0
 	for i := 0; i < 1500; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		if o.Step(x).RandomInvocation {
+		if mustStep(t, o, x).RandomInvocation {
 			randomInvocations++
 		}
 	}
@@ -454,7 +464,7 @@ func TestOnlineEstimatorTracksPrecision(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 2500; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		o.Step(x)
+		mustStep(t, o, x)
 	}
 	prec, ok := o.Estimator().Precision()
 	if !ok {
@@ -482,7 +492,7 @@ func TestPositiveFeedbackBudgetAndSafety(t *testing.T) {
 	insertions := 0
 	for i := 0; i < 2000; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		if o.Step(x).PositiveInsertion {
+		if mustStep(t, o, x).PositiveInsertion {
 			insertions++
 		}
 	}
@@ -512,7 +522,7 @@ func TestPositiveFeedbackDisabledByDefault(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	for i := 0; i < 500; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		if o.Step(x).PositiveInsertion {
+		if mustStep(t, o, x).PositiveInsertion {
 			t.Fatal("positive insertion without the extension enabled")
 		}
 	}

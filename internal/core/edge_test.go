@@ -1,23 +1,25 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 )
 
 // degenerateEnv is a single-plan environment: whatever the point, the same
 // plan is optimal. The learner should converge to near-zero invocations.
 type degenerateEnv struct{ calls int }
 
-func (e *degenerateEnv) Optimize(x []float64) (int, float64) {
+func (e *degenerateEnv) Optimize(x []float64) (int, float64, error) {
 	e.calls++
-	return 42, 100 + x[0]
+	return 42, 100 + x[0], nil
 }
 
-func (e *degenerateEnv) ExecuteCost(x []float64, plan int) float64 {
-	return 100 + x[0]
+func (e *degenerateEnv) ExecuteCost(x []float64, plan int) (float64, error) {
+	return 100 + x[0], nil
 }
 
 func TestOnlineSinglePlanSpace(t *testing.T) {
@@ -30,7 +32,7 @@ func TestOnlineSinglePlanSpace(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	for i := 0; i < 800; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d := o.Step(x)
+		d := mustStep(t, o, x)
 		if d.Predicted && d.PredictedPlan != 42 {
 			t.Fatalf("predicted plan %d in a single-plan space", d.PredictedPlan)
 		}
@@ -50,7 +52,7 @@ type zeroCostEnv struct {
 	corrections int
 }
 
-func (e *zeroCostEnv) ExecuteCost(x []float64, plan int) float64 { return 0 }
+func (e *zeroCostEnv) ExecuteCost(x []float64, plan int) (float64, error) { return 0, nil }
 
 func TestOnlineZeroCostObservationTriggersCorrection(t *testing.T) {
 	env := &zeroCostEnv{}
@@ -63,7 +65,7 @@ func TestOnlineZeroCostObservationTriggersCorrection(t *testing.T) {
 	corrections := 0
 	for i := 0; i < 300; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		if o.Step(x).FeedbackCorrection {
+		if mustStep(t, o, x).FeedbackCorrection {
 			corrections++
 		}
 	}
@@ -119,5 +121,88 @@ func TestMinSamplesGate(t *testing.T) {
 	p.Insert(cluster.Sample{Point: []float64{0.5, 0.5}, Plan: 1, Cost: 1})
 	if got := p.Predict([]float64{0.5, 0.5}); !got.OK {
 		t.Error("no prediction after reaching MinSamples on a pure space")
+	}
+}
+
+// flakyEnv fails optimizer calls on demand (the injected-fault path).
+type flakyEnv struct {
+	degenerateEnv
+	fail bool
+}
+
+func (e *flakyEnv) Optimize(x []float64) (int, float64, error) {
+	if e.fail {
+		return 0, 0, errTestOptimizer
+	}
+	return e.degenerateEnv.Optimize(x)
+}
+
+var errTestOptimizer = errors.New("optimizer down")
+
+// Environment errors must propagate out of Step without corrupting the
+// learned state; the driver keeps working once the environment heals.
+func TestOnlineStepPropagatesEnvironmentErrors(t *testing.T) {
+	env := &flakyEnv{}
+	o := MustNewOnline(OnlineConfig{
+		Core: Config{Dims: 2, Radius: 0.1, Gamma: 0.9, Seed: 5},
+		Seed: 61,
+	}, env)
+	env.fail = true
+	before := o.Predictor().TotalPoints()
+	if _, err := o.Step([]float64{0.5, 0.5}); !errors.Is(err, errTestOptimizer) {
+		t.Fatalf("Step error = %v, want wrapped optimizer error", err)
+	}
+	if o.Predictor().TotalPoints() != before {
+		t.Error("failed step mutated the synopsis")
+	}
+	if o.Validated() != 0 {
+		t.Error("failed step counted as validated insertion")
+	}
+	env.fail = false
+	d, err := o.Step([]float64{0.5, 0.5})
+	if err != nil || !d.Invoked {
+		t.Fatalf("driver did not recover: d=%+v err=%v", d, err)
+	}
+}
+
+// A wrong-dimensional point must be a typed error, not a panic.
+func TestOnlineStepRejectsWrongDims(t *testing.T) {
+	o := MustNewOnline(OnlineConfig{Core: Config{Dims: 3, Seed: 1}, Seed: 1}, &degenerateEnv{})
+	if _, err := o.Step([]float64{0.5}); err == nil {
+		t.Fatal("wrong-dimensional point accepted")
+	}
+}
+
+// An injected learner misprediction must be caught by negative feedback:
+// the garbled plan's observed cost misses the histogram estimate and the
+// driver corrects via the optimizer.
+func TestOnlineInjectedMispredictionIsCorrected(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 5}
+	o := MustNewOnline(OnlineConfig{
+		Core:                  Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		NegativeFeedback:      true,
+		DisablePrecisionFloor: true,
+		Seed:                  19,
+	}, env)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 1200; i++ {
+		mustStep(t, o, []float64{rng.Float64(), rng.Float64()})
+	}
+	o.SetFaults(faults.New(7).Enable(faults.LearnerMisprediction, 1))
+	corrections, served := 0, 0
+	for i := 0; i < 200; i++ {
+		d := mustStep(t, o, []float64{rng.Float64(), rng.Float64()})
+		if d.Predicted {
+			served++
+			if d.FeedbackCorrection {
+				corrections++
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no predictions served; test is vacuous")
+	}
+	if corrections < served/2 {
+		t.Errorf("only %d/%d garbled predictions corrected", corrections, served)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -15,14 +16,21 @@ import (
 // optimizer at a plan space point, and it can observe the execution cost of
 // a given (possibly stale) plan at a point. Experiment harnesses implement
 // it on top of the optimizer and executor substrates.
+//
+// Both calls return real errors: an optimizer or recosting failure
+// propagates out of Step instead of being smuggled through a side channel,
+// so callers (in particular the ppc.System circuit breaker) can observe
+// learner-path failures and fall back to direct optimization.
 type Environment interface {
 	// Optimize returns the optimizer's plan choice at point x and that
 	// plan's execution cost at x.
-	Optimize(x []float64) (plan int, cost float64)
+	Optimize(x []float64) (plan int, cost float64, err error)
 	// ExecuteCost returns the execution cost of running the given plan at
 	// point x (the observable the negative-feedback detector compares
-	// against the histogram cost estimate).
-	ExecuteCost(x []float64, plan int) float64
+	// against the histogram cost estimate). A plan the environment no
+	// longer knows reports cost 0 with a nil error — a violent cost
+	// surprise the negative-feedback detector corrects.
+	ExecuteCost(x []float64, plan int) (cost float64, err error)
 }
 
 // OnlineConfig configures the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver.
@@ -139,11 +147,12 @@ type Decision struct {
 // Online is the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver for one query
 // template (Sections IV-D and IV-E). Not safe for concurrent use.
 type Online struct {
-	cfg  OnlineConfig
-	pred *ApproxLSHHist
-	env  Environment
-	rng  *rand.Rand
-	est  *metrics.TemplateEstimator
+	cfg    OnlineConfig
+	pred   *ApproxLSHHist
+	env    Environment
+	rng    *rand.Rand
+	est    *metrics.TemplateEstimator
+	faults *faults.Injector
 	// resets counts drift recoveries.
 	resets int
 	// validated and selfLabeled count insertions by provenance, enforcing
@@ -200,21 +209,37 @@ func MustNewOnline(cfg OnlineConfig, env Environment) *Online {
 // By default only optimizer-validated points enter the histograms; the
 // optional PositiveFeedback extension additionally reinforces very
 // confident, cost-consistent predictions within a strict budget.
-func (o *Online) Step(x []float64) Decision {
+//
+// A non-nil error reports a failed Environment call (optimizer or
+// recosting); the returned Decision describes how far the step got. The
+// driver's learned state is never corrupted by a failed step — the labeled
+// point is simply not inserted.
+func (o *Online) Step(x []float64) (Decision, error) {
 	var d Decision
+	if len(x) != o.cfg.Core.Dims {
+		return d, fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
+	}
 	pred, costEst, costOK := o.pred.PredictWithCost(x)
+	// Injected learner misprediction: garble the plan choice, simulating a
+	// corrupted synopsis. The safety rails (negative feedback, breaker)
+	// must contain it.
+	if pred.OK && o.faults.Should(faults.LearnerMisprediction) {
+		pred.Plan += 1 + o.faults.Intn(7)
+	}
 	d.Predicted = pred.OK
 	d.PredictedPlan = pred.Plan
 	d.Confidence = pred.Confidence
 
 	if !pred.OK {
 		o.est.RecordNull()
-		plan, cost := o.optimizeAndLearn(x)
+		plan, _, err := o.optimizeAndLearn(x)
+		if err != nil {
+			return d, err
+		}
 		d.Plan = plan
 		d.Invoked = true
-		_ = cost
 		o.maybeReset(&d)
-		return d
+		return d, nil
 	}
 
 	// Random invocation: probability scales down with confidence so highly
@@ -230,28 +255,37 @@ func (o *Online) Step(x []float64) Decision {
 			p = o.cfg.InvocationProb / 2
 		}
 		if o.rng.Float64() < p {
-			plan, _ := o.optimizeAndLearn(x)
+			plan, _, err := o.optimizeAndLearn(x)
+			if err != nil {
+				return d, err
+			}
 			d.Plan = plan
 			d.Invoked = true
 			d.RandomInvocation = true
 			// The audit reveals ground truth for the estimator.
 			o.est.RecordPrediction(pred.Plan, plan == pred.Plan)
 			o.maybeReset(&d)
-			return d
+			return d, nil
 		}
 	}
 
 	// Serve the cached plan and watch its cost.
 	d.Plan = pred.Plan
 	d.CacheHit = true
-	observed := o.env.ExecuteCost(x, pred.Plan)
+	observed, err := o.env.ExecuteCost(x, pred.Plan)
+	if err != nil {
+		return d, err
+	}
 	correct := true
 	if o.cfg.NegativeFeedback && costOK && costEst > 0 {
 		if math.Abs(observed-costEst) > o.cfg.CostEpsilon*costEst {
 			// Plan cost predictability violated: treat as misprediction
 			// (Section IV-E contrapositive), correct immediately.
 			correct = false
-			plan, _ := o.optimizeAndLearn(x)
+			plan, _, err := o.optimizeAndLearn(x)
+			if err != nil {
+				return d, err
+			}
 			d.Plan = plan
 			d.Invoked = true
 			d.FeedbackCorrection = true
@@ -269,16 +303,34 @@ func (o *Online) Step(x []float64) Decision {
 	}
 	o.est.RecordPrediction(pred.Plan, correct)
 	o.maybeReset(&d)
-	return d
+	return d, nil
 }
 
 // optimizeAndLearn invokes the optimizer at x and inserts the labeled point.
-func (o *Online) optimizeAndLearn(x []float64) (int, float64) {
-	plan, cost := o.env.Optimize(x)
+func (o *Online) optimizeAndLearn(x []float64) (int, float64, error) {
+	plan, cost, err := o.env.Optimize(x)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: optimize at %v: %w", x, err)
+	}
 	o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: plan, Cost: cost})
 	o.validated++
-	return plan, cost
+	return plan, cost, nil
 }
+
+// LearnValidated inserts an optimizer-validated labeled point directly,
+// bypassing the prediction protocol. Degraded-mode callers (circuit breaker
+// open, every query routed straight to the optimizer) use it to keep
+// retraining the quarantined learner so half-open probes can succeed.
+func (o *Online) LearnValidated(x []float64, plan int, cost float64) {
+	if len(x) != o.cfg.Core.Dims {
+		return
+	}
+	o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: plan, Cost: cost})
+	o.validated++
+}
+
+// SetFaults attaches a fault injector (nil disables injection).
+func (o *Online) SetFaults(inj *faults.Injector) { o.faults = inj }
 
 // maybeReset performs drift recovery when the estimated precision over a
 // full window drops below the floor.

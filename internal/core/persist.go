@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -18,21 +20,54 @@ import (
 //
 // Layout (little endian):
 //
-//	u8  version
-//	config: i64 dims, outDims, transforms, histBuckets; f64 radius, gamma,
-//	        noiseFraction; u8 noiseElim; i64 minSamples, seed
-//	i64 total points
-//	u32 transform count; per transform:
-//	  marginal histogram
-//	  u32 plan count; per plan: i64 plan id, histogram
-const persistVersion = 1
+//	u8  version (2)
+//	u64 body length, u32 CRC-32C of body
+//	body:
+//	  config: i64 dims, outDims, transforms, histBuckets; f64 radius, gamma,
+//	          noiseFraction; u8 noiseElim; i64 minSamples, seed
+//	  i64 total points
+//	  u32 transform count; per transform:
+//	    marginal histogram
+//	    u32 plan count; per plan: i64 plan id, histogram
+//
+// Version 2 frames the body with its length and a CRC-32C checksum so a
+// truncated or bit-flipped synopsis is detected at load instead of being
+// deserialized into garbage histograms. Version-1 streams (unframed) are
+// still readable.
+const (
+	persistVersion       = 2
+	legacyPersistVersion = 1
+	// maxPersistBody bounds the declared body length so a corrupted header
+	// cannot trigger a giant allocation.
+	maxPersistBody = 1 << 30
+)
 
-// Encode writes the predictor's full state to w.
+var persistCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes the predictor's full state to w, framed with a length and
+// CRC-32C checksum.
 func (p *ApproxLSHHist) Encode(w io.Writer) error {
 	le := binary.LittleEndian
+	var body bytes.Buffer
+	if err := p.encodeBody(&body); err != nil {
+		return err
+	}
 	if err := binary.Write(w, le, uint8(persistVersion)); err != nil {
 		return err
 	}
+	if err := binary.Write(w, le, uint64(body.Len())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, crc32.Checksum(body.Bytes(), persistCRC)); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// encodeBody writes the unframed predictor state.
+func (p *ApproxLSHHist) encodeBody(w io.Writer) error {
+	le := binary.LittleEndian
 	noise := uint8(0)
 	if p.cfg.NoiseElimination {
 		noise = 1
@@ -73,17 +108,47 @@ func (p *ApproxLSHHist) Encode(w io.Writer) error {
 }
 
 // DecodeApproxLSHHist reconstructs a predictor previously written by
-// Encode. The randomized transformations are regenerated from the stored
-// seed, so predictions after a round trip are bit-identical.
+// Encode, verifying the frame's length and checksum first. The randomized
+// transformations are regenerated from the stored seed, so predictions
+// after a round trip are bit-identical.
 func DecodeApproxLSHHist(r io.Reader) (*ApproxLSHHist, error) {
 	le := binary.LittleEndian
 	var version uint8
 	if err := binary.Read(r, le, &version); err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
-	if version != persistVersion {
+	switch version {
+	case legacyPersistVersion:
+		// Unframed stream from before checksumming.
+		return decodeBody(r)
+	case persistVersion:
+	default:
 		return nil, fmt.Errorf("core: unsupported persistence version %d", version)
 	}
+	var length uint64
+	if err := binary.Read(r, le, &length); err != nil {
+		return nil, fmt.Errorf("core: decode frame length: %w", err)
+	}
+	if length > maxPersistBody {
+		return nil, fmt.Errorf("core: frame length %d exceeds limit", length)
+	}
+	var sum uint32
+	if err := binary.Read(r, le, &sum); err != nil {
+		return nil, fmt.Errorf("core: decode frame checksum: %w", err)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("core: truncated synopsis frame: %w", err)
+	}
+	if got := crc32.Checksum(body, persistCRC); got != sum {
+		return nil, fmt.Errorf("core: synopsis checksum mismatch: stored %08x, computed %08x", sum, got)
+	}
+	return decodeBody(bytes.NewReader(body))
+}
+
+// decodeBody reconstructs a predictor from the unframed state stream.
+func decodeBody(r io.Reader) (*ApproxLSHHist, error) {
+	le := binary.LittleEndian
 	var dims, outDims, transforms, histBuckets, minSamples, seed, total int64
 	var radius, gamma, noiseFraction float64
 	var noise uint8

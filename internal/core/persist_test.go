@@ -77,7 +77,7 @@ func TestOnlineEncodeDecodeState(t *testing.T) {
 	}, env)
 	rng := rand.New(rand.NewSource(73))
 	for i := 0; i < 600; i++ {
-		o.Step([]float64{rng.Float64(), rng.Float64()})
+		mustStep(t, o, []float64{rng.Float64(), rng.Float64()})
 	}
 	var buf bytes.Buffer
 	if err := o.EncodeState(&buf); err != nil {
@@ -99,10 +99,10 @@ func TestOnlineEncodeDecodeState(t *testing.T) {
 	origHits, restoredHits := 0, 0
 	for i := 0; i < 300; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		if o.Step(x).CacheHit {
+		if mustStep(t, o, x).CacheHit {
 			origHits++
 		}
-		if o2.Step(x).CacheHit {
+		if mustStep(t, o2, x).CacheHit {
 			restoredHits++
 		}
 	}

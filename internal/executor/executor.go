@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/optimizer"
 	"repro/internal/tpch"
 )
@@ -49,14 +50,24 @@ type Result struct {
 
 // Executor evaluates plans against a database.
 type Executor struct {
-	db *tpch.Database
+	db     *tpch.Database
+	faults *faults.Injector
 }
 
 // New creates an executor over db.
 func New(db *tpch.Database) *Executor { return &Executor{db: db} }
 
+// SetFaults attaches a fault injector (nil disables injection).
+func (e *Executor) SetFaults(inj *faults.Injector) { e.faults = inj }
+
 // Run executes a complete plan and returns its result.
 func (e *Executor) Run(plan *optimizer.Plan) (*Result, error) {
+	if err := e.faults.Fail(faults.ExecutorError); err != nil {
+		return nil, fmt.Errorf("executor: %w", err)
+	}
+	if plan == nil || plan.Root == nil {
+		return nil, fmt.Errorf("executor: nil plan")
+	}
 	schema, rows, err := e.exec(plan.Root)
 	if err != nil {
 		return nil, err

@@ -145,17 +145,17 @@ func RunDrift(env *Env, cfg DriftConfig) (*DriftResult, error) {
 			p, _, err := oracle.Label(x)
 			return p, err
 		}
-		p, _ := manipulated.Optimize(x)
-		return p, oracle.Err()
+		p, _, err := manipulated.Optimize(x)
+		return p, err
 	}
 
 	for i, x := range points {
 		if i == res.DriftStep {
 			active = manipulated
 		}
-		d := driver.Step(x)
-		if oracle.Err() != nil {
-			return nil, oracle.Err()
+		d, err := driver.Step(x)
+		if err != nil {
+			return nil, err
 		}
 		truth, err := truthLabel(x)
 		if err != nil {
@@ -242,10 +242,10 @@ type switchableEnv struct {
 }
 
 // Optimize implements core.Environment.
-func (s *switchableEnv) Optimize(x []float64) (int, float64) { return (*s.env).Optimize(x) }
+func (s *switchableEnv) Optimize(x []float64) (int, float64, error) { return (*s.env).Optimize(x) }
 
 // ExecuteCost implements core.Environment.
-func (s *switchableEnv) ExecuteCost(x []float64, plan int) float64 {
+func (s *switchableEnv) ExecuteCost(x []float64, plan int) (float64, error) {
 	return (*s.env).ExecuteCost(x, plan)
 }
 
@@ -272,22 +272,28 @@ func (m *manipulatedEnv) cellHash(x []float64) uint64 {
 }
 
 // Optimize implements core.Environment with scrambled labels and costs.
-func (m *manipulatedEnv) Optimize(x []float64) (int, float64) {
-	base, cost := m.Oracle.Optimize(x)
+func (m *manipulatedEnv) Optimize(x []float64) (int, float64, error) {
+	base, cost, err := m.Oracle.Optimize(x)
+	if err != nil {
+		return 0, 0, err
+	}
 	h := m.cellHash(x)
 	plan := m.planOffset + (base+int(h%5))%7 // labels flip cell to cell
 	factor := 0.25 + float64(h%16)           // costs jump 0.25x .. 15x
-	return plan, cost * factor
+	return plan, cost * factor, nil
 }
 
 // ExecuteCost implements core.Environment: executing any pre-drift plan in
 // the manipulated space observes a chaotic cost, and the scrambled plans
 // behave like their scrambled optima.
-func (m *manipulatedEnv) ExecuteCost(x []float64, plan int) float64 {
-	truth, cost := m.Optimize(x)
+func (m *manipulatedEnv) ExecuteCost(x []float64, plan int) (float64, error) {
+	truth, cost, err := m.Optimize(x)
+	if err != nil {
+		return 0, err
+	}
 	if plan == truth {
-		return cost
+		return cost, nil
 	}
 	h := m.cellHash(x)
-	return cost * (2 + float64(h%7))
+	return cost * (2 + float64(h%7)), nil
 }

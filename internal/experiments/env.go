@@ -93,7 +93,6 @@ type Oracle struct {
 	plans map[int]*optimizer.Plan
 	// Calls counts real (non-memoized) optimizer invocations.
 	Calls int
-	err   error
 }
 
 type labeled struct {
@@ -114,9 +113,6 @@ func NewOracle(env *Env, tmpl *optimizer.Template) *Oracle {
 
 // Registry exposes the oracle's plan registry.
 func (o *Oracle) Registry() *optimizer.Registry { return o.reg }
-
-// Err returns the first error encountered inside Environment callbacks.
-func (o *Oracle) Err() error { return o.err }
 
 func pointKey(x []float64) string {
 	var b strings.Builder
@@ -148,35 +144,25 @@ func (o *Oracle) Label(x []float64) (int, float64, error) {
 }
 
 // Optimize implements core.Environment.
-func (o *Oracle) Optimize(x []float64) (int, float64) {
-	plan, cost, err := o.Label(x)
-	if err != nil && o.err == nil {
-		o.err = err
-	}
-	return plan, cost
+func (o *Oracle) Optimize(x []float64) (int, float64, error) {
+	return o.Label(x)
 }
 
 // ExecuteCost implements core.Environment via plan rebinding.
-func (o *Oracle) ExecuteCost(x []float64, planID int) float64 {
+func (o *Oracle) ExecuteCost(x []float64, planID int) (float64, error) {
 	plan, ok := o.plans[planID]
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	inst, err := o.env.Opt.InstanceAt(o.tmpl, x)
 	if err != nil {
-		if o.err == nil {
-			o.err = err
-		}
-		return 0
+		return 0, err
 	}
 	re, err := o.env.Opt.Recost(o.tmpl.Query, plan, inst.Values)
 	if err != nil {
-		if o.err == nil {
-			o.err = err
-		}
-		return 0
+		return 0, err
 	}
-	return re.Cost
+	return re.Cost, nil
 }
 
 // Reset clears the memoized plan space (used by the drift experiment after

@@ -105,7 +105,6 @@ type memOracle struct {
 	base  optimizer.CostModel
 	low   float64
 	high  float64
-	err   error
 }
 
 // memRows maps the normalized memory coordinate m ∈ [0,1] onto a
@@ -138,39 +137,29 @@ func (o *memOracle) label(x []float64) (int, float64, error) {
 }
 
 // Optimize implements core.Environment over context-augmented points.
-func (o *memOracle) Optimize(x []float64) (int, float64) {
-	p, c, err := o.label(x)
-	if err != nil && o.err == nil {
-		o.err = err
-	}
-	return p, c
+func (o *memOracle) Optimize(x []float64) (int, float64, error) {
+	return o.label(x)
 }
 
 // ExecuteCost implements core.Environment: recost the cached plan under
 // the instance's memory level.
-func (o *memOracle) ExecuteCost(x []float64, planID int) float64 {
+func (o *memOracle) ExecuteCost(x []float64, planID int) (float64, error) {
 	plan, ok := o.plans[planID]
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	sel := x[:len(x)-1]
 	o.env.Opt.SetModel(o.base.WithMemoryRows(o.memRows(x[len(x)-1])))
 	defer o.env.Opt.SetModel(o.base)
 	inst, err := o.env.Opt.InstanceAt(o.tmpl, sel)
 	if err != nil {
-		if o.err == nil {
-			o.err = err
-		}
-		return 0
+		return 0, err
 	}
 	re, err := o.env.Opt.Recost(o.tmpl.Query, plan, inst.Values)
 	if err != nil {
-		if o.err == nil {
-			o.err = err
-		}
-		return 0
+		return 0, err
 	}
-	return re.Cost
+	return re.Cost, nil
 }
 
 // blindAdapter presents the context-augmented environment to a learner
@@ -182,12 +171,12 @@ type blindAdapter struct {
 }
 
 // Optimize implements core.Environment for the blind learner.
-func (b *blindAdapter) Optimize(sel []float64) (int, float64) {
+func (b *blindAdapter) Optimize(sel []float64) (int, float64, error) {
 	return b.inner.Optimize(append(append([]float64(nil), sel...), b.mem))
 }
 
 // ExecuteCost implements core.Environment for the blind learner.
-func (b *blindAdapter) ExecuteCost(sel []float64, planID int) float64 {
+func (b *blindAdapter) ExecuteCost(sel []float64, planID int) (float64, error) {
 	return b.inner.ExecuteCost(append(append([]float64(nil), sel...), b.mem), planID)
 }
 
@@ -254,9 +243,9 @@ func RunExtMem(env *Env, cfg ExtMemConfig) (*ExtMemResult, error) {
 			return nil, err
 		}
 
-		da := aware.Step(full)
-		if oracle.err != nil {
-			return nil, oracle.err
+		da, err := aware.Step(full)
+		if err != nil {
+			return nil, err
 		}
 		awareC.RecordTruth(da.Predicted, da.Predicted && da.PredictedPlan == truth)
 		if da.Invoked {
@@ -264,9 +253,9 @@ func RunExtMem(env *Env, cfg ExtMemConfig) (*ExtMemResult, error) {
 		}
 
 		blindEnv.mem = mem
-		db := blind.Step(sel)
-		if oracle.err != nil {
-			return nil, oracle.err
+		db, err := blind.Step(sel)
+		if err != nil {
+			return nil, err
 		}
 		blindC.RecordTruth(db.Predicted, db.Predicted && db.PredictedPlan == truth)
 		if db.Invoked {

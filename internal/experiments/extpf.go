@@ -118,9 +118,9 @@ func RunExtPF(env *Env, cfg ExtPFConfig) (*ExtPFResult, error) {
 				return nil, err
 			}
 			for i, x := range workloads[w] {
-				d := driver.Step(x)
-				if oracle.Err() != nil {
-					return nil, oracle.Err()
+				d, err := driver.Step(x)
+				if err != nil {
+					return nil, err
 				}
 				truth, _, err := oracle.Label(x)
 				if err != nil {

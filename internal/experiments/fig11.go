@@ -107,9 +107,9 @@ func onlineRun(env *Env, tmplName string, points [][]float64, ocfg core.OnlineCo
 	var total metrics.Counter
 	windows := make([]metrics.Counter, (len(points)+windowSize-1)/windowSize)
 	for i, x := range points {
-		d := driver.Step(x)
-		if oracle.Err() != nil {
-			return metrics.Counter{}, nil, oracle.Err()
+		d, err := driver.Step(x)
+		if err != nil {
+			return metrics.Counter{}, nil, err
 		}
 		truth, _, err := oracle.Label(x)
 		if err != nil {

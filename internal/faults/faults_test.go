@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	for _, c := range Classes {
+		if i.Should(c) {
+			t.Errorf("nil injector fired %s", c)
+		}
+		if err := i.Fail(c); err != nil {
+			t.Errorf("nil injector failed %s: %v", c, err)
+		}
+		if i.Fired(c) != 0 || i.Checked(c) != 0 {
+			t.Errorf("nil injector has counters for %s", c)
+		}
+	}
+	i.Sleep(OptimizerLatency)
+	if off, ok := i.CorruptOffset(100); ok || off != 0 {
+		t.Error("nil injector corrupted")
+	}
+	if i.Intn(10) != 0 {
+		t.Error("nil injector Intn != 0")
+	}
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	a := New(42).Enable(OptimizerError, 0.5)
+	b := New(42).Enable(OptimizerError, 0.5)
+	for n := 0; n < 1000; n++ {
+		if a.Should(OptimizerError) != b.Should(OptimizerError) {
+			t.Fatalf("sequences diverged at %d", n)
+		}
+	}
+	if a.Fired(OptimizerError) == 0 {
+		t.Error("p=0.5 never fired over 1000 rolls")
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	always := New(1).Enable(ExecutorError, 1)
+	for n := 0; n < 50; n++ {
+		if err := always.Fail(ExecutorError); !errors.Is(err, ErrInjected) {
+			t.Fatalf("p=1 did not fire (err=%v)", err)
+		}
+	}
+	never := New(1).Enable(ExecutorError, 0)
+	for n := 0; n < 50; n++ {
+		if never.Should(ExecutorError) {
+			t.Fatal("p=0 fired")
+		}
+	}
+}
+
+func TestDisableAllClears(t *testing.T) {
+	i := New(7)
+	for _, c := range Classes {
+		i.Enable(c, 1)
+	}
+	i.DisableAll()
+	for _, c := range Classes {
+		if i.Should(c) {
+			t.Errorf("%s fired after DisableAll", c)
+		}
+	}
+}
+
+func TestCorruptOffsetInRange(t *testing.T) {
+	i := New(3).Enable(SnapshotCorruption, 1)
+	for n := 0; n < 100; n++ {
+		off, ok := i.CorruptOffset(37)
+		if !ok {
+			t.Fatal("p=1 corruption did not fire")
+		}
+		if off < 0 || off >= 37 {
+			t.Fatalf("offset %d out of range", off)
+		}
+	}
+	if _, ok := i.CorruptOffset(0); ok {
+		t.Error("corrupted an empty payload")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	i := New(11).Enable(OptimizerError, 0.3).Enable(ExecutorError, 0.3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				i.Should(OptimizerError)
+				_ = i.Fail(ExecutorError)
+				i.Intn(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if i.Checked(OptimizerError) != 4000 {
+		t.Errorf("checked = %d, want 4000", i.Checked(OptimizerError))
+	}
+}

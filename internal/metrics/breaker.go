@@ -1,0 +1,207 @@
+package metrics
+
+import "fmt"
+
+// Circuit breaker for one template's online learner. The PPC stance is the
+// same as Kepler's for learned parametric optimization: a misbehaving
+// learner must never make a query fail or return a worse answer than "just
+// call the optimizer". The breaker watches two health signals — learner
+// errors surfaced by the Environment, and the sliding-window precision
+// estimate of Section IV-E — and, when either collapses, trips the template
+// into a degraded always-invoke-the-optimizer mode. Degraded traffic still
+// feeds optimizer-validated points back into the histograms, so the learner
+// retrains while quarantined; after a cooldown the breaker lets probe
+// traffic through and re-closes once probes succeed.
+
+// BreakerState is the classic three-state circuit breaker state.
+type BreakerState int
+
+const (
+	// BreakerClosed: the learner serves predictions normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the learner is quarantined; every query goes straight
+	// to the optimizer.
+	BreakerOpen
+	// BreakerHalfOpen: probe traffic flows through the learner; success
+	// re-closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig configures a Breaker; zero fields take the defaults noted.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive learner errors that
+	// trips the breaker (default 3).
+	FailureThreshold int
+	// PrecisionFloor trips the breaker when the sliding-window precision
+	// falls below it (default 0.2; <0 disables the precision trip).
+	PrecisionFloor float64
+	// PrecisionMinSamples is how many window samples must exist before the
+	// floor applies (default 20).
+	PrecisionMinSamples int
+	// Cooldown is how many degraded requests the breaker absorbs while
+	// open before letting a probe through (default 25).
+	Cooldown int
+	// ProbeSuccesses is how many consecutive successful probes re-close a
+	// half-open breaker (default 2).
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 3
+	}
+	if c.PrecisionFloor == 0 {
+		c.PrecisionFloor = 0.2
+	}
+	if c.PrecisionMinSamples == 0 {
+		c.PrecisionMinSamples = 20
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 25
+	}
+	if c.ProbeSuccesses == 0 {
+		c.ProbeSuccesses = 2
+	}
+	return c
+}
+
+// Breaker is the per-template circuit breaker. Like the estimators in this
+// package it is not safe for concurrent use; the System serializes access
+// under its lock.
+type Breaker struct {
+	cfg          BreakerConfig
+	state        BreakerState
+	consecFails  int
+	cooldownLeft int
+	probeWins    int
+
+	trips          int
+	errorTrips     int
+	precisionTrips int
+	probes         int
+	failures       int
+	successes      int
+	degraded       int
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether the learner may serve this request. While open it
+// counts down the cooldown and returns false (degraded mode); once the
+// cooldown elapses the breaker turns half-open and admits probe traffic.
+func (b *Breaker) Allow() bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.cooldownLeft--
+		if b.cooldownLeft > 0 {
+			b.degraded++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeWins = 0
+		b.probes++
+		return true
+	default: // BreakerHalfOpen
+		b.probes++
+		return true
+	}
+}
+
+// RecordSuccess reports a healthy learner interaction. Enough consecutive
+// successes in half-open state re-close the breaker.
+func (b *Breaker) RecordSuccess() {
+	b.successes++
+	b.consecFails = 0
+	if b.state == BreakerHalfOpen {
+		b.probeWins++
+		if b.probeWins >= b.cfg.ProbeSuccesses {
+			b.state = BreakerClosed
+			b.probeWins = 0
+		}
+	}
+}
+
+// RecordFailure reports a learner error. Reaching the consecutive-failure
+// threshold (or any failure while half-open) trips the breaker.
+func (b *Breaker) RecordFailure() {
+	b.failures++
+	b.consecFails++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip(&b.errorTrips)
+	case BreakerClosed:
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.trip(&b.errorTrips)
+		}
+	}
+}
+
+// ObservePrecision feeds the sliding-window precision estimate. A collapsed
+// window trips a closed breaker. Returns true when this observation tripped
+// it, so the caller can drop the stale estimator evidence.
+func (b *Breaker) ObservePrecision(prec float64, samples int) bool {
+	if b.state != BreakerClosed || b.cfg.PrecisionFloor < 0 {
+		return false
+	}
+	if samples < b.cfg.PrecisionMinSamples || prec >= b.cfg.PrecisionFloor {
+		return false
+	}
+	b.trip(&b.precisionTrips)
+	return true
+}
+
+func (b *Breaker) trip(cause *int) {
+	b.state = BreakerOpen
+	b.cooldownLeft = b.cfg.Cooldown
+	b.probeWins = 0
+	b.consecFails = 0
+	b.trips++
+	*cause++
+}
+
+// BreakerSnapshot is a copyable view of the breaker's health counters.
+type BreakerSnapshot struct {
+	State          string
+	Trips          int
+	ErrorTrips     int
+	PrecisionTrips int
+	Probes         int
+	Failures       int
+	Successes      int
+	DegradedSteps  int
+}
+
+// Snapshot returns the current counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	return BreakerSnapshot{
+		State:          b.state.String(),
+		Trips:          b.trips,
+		ErrorTrips:     b.errorTrips,
+		PrecisionTrips: b.precisionTrips,
+		Probes:         b.probes,
+		Failures:       b.failures,
+		Successes:      b.successes,
+		DegradedSteps:  b.degraded,
+	}
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import "testing"
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 5})
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker not closed")
+	}
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below threshold")
+	}
+	b.RecordSuccess() // success resets the consecutive count
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset consecutive failures")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold reached but breaker still closed")
+	}
+	if s := b.Snapshot(); s.Trips != 1 || s.ErrorTrips != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestBreakerCooldownAndProbeRecovery(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 4, ProbeSuccesses: 2})
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	// Cooldown: the first cooldown-1 requests are degraded.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("allowed during cooldown step %d", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("not half-open after cooldown")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed after one probe success, want two")
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused probe")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatal("two probe successes did not close the breaker")
+	}
+	if s := b.Snapshot(); s.Probes < 2 || s.DegradedSteps != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 2, ProbeSuccesses: 1})
+	b.RecordFailure()
+	b.Allow() // cooldown step
+	if !b.Allow() {
+		t.Fatal("no probe")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure did not reopen")
+	}
+	if s := b.Snapshot(); s.Trips != 2 {
+		t.Errorf("trips = %d, want 2", s.Trips)
+	}
+}
+
+func TestBreakerPrecisionTrip(t *testing.T) {
+	b := NewBreaker(BreakerConfig{PrecisionFloor: 0.3, PrecisionMinSamples: 10})
+	if b.ObservePrecision(0.1, 5) {
+		t.Fatal("tripped below minimum samples")
+	}
+	if b.ObservePrecision(0.5, 50) {
+		t.Fatal("tripped above the floor")
+	}
+	if !b.ObservePrecision(0.1, 50) {
+		t.Fatal("collapsed precision did not trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after precision trip")
+	}
+	if s := b.Snapshot(); s.PrecisionTrips != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// While open, further observations are ignored.
+	if b.ObservePrecision(0.0, 100) {
+		t.Error("open breaker re-tripped on precision")
+	}
+}
+
+func TestBreakerPrecisionDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{PrecisionFloor: -1})
+	if b.ObservePrecision(0, 1000) {
+		t.Fatal("disabled precision floor tripped")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("state changed")
+	}
+}

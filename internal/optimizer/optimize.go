@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/faults"
 	"repro/internal/tpch"
 )
 
@@ -14,9 +15,10 @@ import (
 // parameter values yield identical plans (including tie-breaking), which
 // the plan-space framework relies on.
 type Optimizer struct {
-	db    *tpch.Database
-	cat   *catalog.Catalog
-	model CostModel
+	db     *tpch.Database
+	cat    *catalog.Catalog
+	model  CostModel
+	faults *faults.Injector
 }
 
 // New creates an optimizer. A nil model uses DefaultCostModel.
@@ -41,9 +43,17 @@ func (o *Optimizer) Model() CostModel { return o.model }
 // Catalog returns the statistics catalog the optimizer estimates from.
 func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
 
+// SetFaults attaches a fault injector (nil disables injection). Chaos tests
+// use it to simulate optimizer outages and latency spikes.
+func (o *Optimizer) SetFaults(inj *faults.Injector) { o.faults = inj }
+
 // Optimize selects the cheapest plan for the query instantiated with the
 // given parameter values (one per placeholder, in placeholder order).
 func (o *Optimizer) Optimize(q *Query, params []float64) (*Plan, error) {
+	o.faults.Sleep(faults.OptimizerLatency)
+	if err := o.faults.Fail(faults.OptimizerError); err != nil {
+		return nil, fmt.Errorf("optimizer: %w", err)
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

@@ -19,7 +19,9 @@ func (o *Optimizer) Recost(q *Query, plan *Plan, params []float64) (*Plan, error
 		return nil, fmt.Errorf("optimizer: got %d parameters, want %d", got, want)
 	}
 	root := cloneTree(plan.Root)
-	rebind(root, q, params)
+	if err := rebind(root, q, params); err != nil {
+		return nil, err
+	}
 	if _, _, err := o.recostNode(root, q); err != nil {
 		return nil, err
 	}
@@ -37,13 +39,19 @@ func cloneTree(n *Node) *Node {
 	return &c
 }
 
-// rebind re-instantiates parameterized literals throughout the tree.
-func rebind(n *Node, q *Query, params []float64) {
+// rebind re-instantiates parameterized literals throughout the tree. A tree
+// referencing parameter indexes the query does not have (a plan cached for a
+// different template) is rejected rather than letting the index panic.
+func rebind(n *Node, q *Query, params []float64) error {
 	if n == nil {
-		return
+		return nil
 	}
 	for i := range n.Filters {
 		if n.Filters[i].Kind == PredCmpNum && n.Filters[i].ParamIdx >= 0 {
+			if n.Filters[i].ParamIdx >= len(params) {
+				return fmt.Errorf("optimizer: plan references parameter %d, query has %d (foreign plan)",
+					n.Filters[i].ParamIdx, len(params))
+			}
 			n.Filters[i].Value = params[n.Filters[i].ParamIdx]
 		}
 	}
@@ -73,8 +81,10 @@ func rebind(n *Node, q *Query, params []float64) {
 			n.IndexLo, n.IndexHi = sargBounds(inst)
 		}
 	}
-	rebind(n.Left, q, params)
-	rebind(n.Right, q, params)
+	if err := rebind(n.Left, q, params); err != nil {
+		return err
+	}
+	return rebind(n.Right, q, params)
 }
 
 // recostNode recomputes EstRows and EstCost bottom-up. It returns the

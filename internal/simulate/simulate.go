@@ -123,15 +123,18 @@ func Run(cfg Config) (*Result, error) {
 		// inside the step, and the executed plan's (possibly stale) cost.
 		env.optWall = 0
 		t0 := time.Now()
-		d := driver.Step(x)
+		d, err := driver.Step(x)
 		stepWall := time.Since(t0)
-		if env.err != nil {
-			return nil, env.err
+		if err != nil {
+			return nil, err
 		}
 		execCost := optCost
 		stale := false
 		if d.Plan != optPlan {
-			execCost = env.staleCost(x, d.Plan)
+			execCost, err = env.staleCost(x, d.Plan)
+			if err != nil {
+				return nil, err
+			}
 			stale = true
 		}
 		cumP += stepWall.Seconds() + execCost*kappa
@@ -194,7 +197,6 @@ type oracle struct {
 	opt     *optimizer.Optimizer
 	reg     *optimizer.Registry
 	plans   map[int]*optimizer.Plan
-	err     error
 	optWall time.Duration
 }
 
@@ -221,37 +223,34 @@ func (o *oracle) groundTruth(x []float64) (int, float64, time.Duration, error) {
 }
 
 // Optimize implements core.Environment.
-func (o *oracle) Optimize(x []float64) (int, float64) {
+func (o *oracle) Optimize(x []float64) (int, float64, error) {
 	t0 := time.Now()
 	id, cost, _, err := o.groundTruth(x)
 	if err != nil {
-		o.err = err
-		return 0, 0
+		return 0, 0, err
 	}
 	o.optWall += time.Since(t0)
-	return id, cost
+	return id, cost, nil
 }
 
 // ExecuteCost implements core.Environment via plan rebinding.
-func (o *oracle) ExecuteCost(x []float64, planID int) float64 {
+func (o *oracle) ExecuteCost(x []float64, planID int) (float64, error) {
 	return o.staleCost(x, planID)
 }
 
 // staleCost recosts a cached plan at a new point.
-func (o *oracle) staleCost(x []float64, planID int) float64 {
+func (o *oracle) staleCost(x []float64, planID int) (float64, error) {
 	plan, ok := o.plans[planID]
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	inst, err := o.opt.InstanceAt(o.tmpl, x)
 	if err != nil {
-		o.err = err
-		return 0
+		return 0, err
 	}
 	re, err := o.opt.Recost(o.tmpl.Query, plan, inst.Values)
 	if err != nil {
-		o.err = err
-		return 0
+		return 0, err
 	}
-	return re.Cost
+	return re.Cost, nil
 }

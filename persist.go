@@ -2,8 +2,10 @@ package ppc
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/optimizer"
@@ -15,10 +17,30 @@ import (
 // recency order — and restore it after a restart, resuming with warm
 // predictions instead of a cold re-learning phase.
 //
+// Snapshots are framed with a magic string, a version, a payload length
+// and a CRC-32C checksum. Corruption (truncation, bit flips, garbage) is
+// detected at load time and is NOT an error: a warm start is an
+// optimization, so a damaged snapshot degrades the System to a cold
+// learner and the damage is reported via LoadStateReport. Only
+// non-recoverable mismatches — restoring onto the wrong database, or onto
+// a System that has already learned — are hard *SnapshotError failures.
+//
 // The database itself is regenerated deterministically from Options.TPCH,
-// so only the learned state is persisted. Restoring requires a System
-// opened with the same database configuration (enforced via a fingerprint
-// of the generation parameters).
+// so only the learned state is persisted.
+
+const (
+	// snapMagic opens every snapshot stream.
+	snapMagic = "PPCSNAP\x00"
+	// snapVersion is the current envelope version.
+	snapVersion = 1
+	// maxSnapBody caps the declared payload length so a corrupted length
+	// field cannot drive a huge allocation.
+	maxSnapBody = 1 << 30
+)
+
+// snapCRC is the Castagnoli polynomial table (same family as the synopsis
+// streams in internal/core).
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // savedSystem is the gob-encoded persistent form.
 type savedSystem struct {
@@ -49,8 +71,34 @@ type savedPlan struct {
 	Print    string
 }
 
-// SaveState writes the system's learned state to w.
-func (s *System) SaveState(w io.Writer) error {
+// LoadReport describes what LoadState recovered from a snapshot.
+type LoadReport struct {
+	// Corrupt is true when the snapshot failed validation (bad magic,
+	// truncation, checksum mismatch, undecodable payload) and the System
+	// stayed (fully or partially) cold.
+	Corrupt bool
+	// Reason explains the detected corruption, empty when Corrupt is false.
+	Reason string
+	// ColdTemplates lists templates that were re-registered with a cold
+	// learner because their saved synopsis failed to decode.
+	ColdTemplates []string
+	// Templates and Plans count what was successfully restored.
+	Templates int
+	Plans     int
+}
+
+// LoadStateReport returns the report of the most recent LoadState call, or
+// nil if LoadState has not been called.
+func (s *System) LoadStateReport() *LoadReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLoad
+}
+
+// SaveState writes the system's learned state to w in the framed,
+// checksummed snapshot format.
+func (s *System) SaveState(w io.Writer) (err error) {
+	defer capturePanic("ppc.SaveState", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := savedSystem{DBScale: s.opts.TPCH.Scale, DBSeed: s.opts.TPCH.Seed}
@@ -65,7 +113,7 @@ func (s *System) SaveState(w io.Writer) error {
 		st := s.templates[name]
 		var buf bytes.Buffer
 		if err := st.online.EncodeState(&buf); err != nil {
-			return fmt.Errorf("ppc: save template %s: %w", name, err)
+			return &SnapshotError{Op: "save", Err: fmt.Errorf("template %s: %w", name, err)}
 		}
 		out.Templates = append(out.Templates, savedTemplate{
 			Name: name, SQL: st.tmpl.SQL, Learner: buf.Bytes(),
@@ -85,50 +133,115 @@ func (s *System) SaveState(w io.Writer) error {
 			out.CacheMRU = append(out.CacheMRU, id)
 		}
 	}
-	return gob.NewEncoder(w).Encode(&out)
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&out); err != nil {
+		return &SnapshotError{Op: "save", Err: err}
+	}
+	body := payload.Bytes()
+	// The checksum is computed over the intact payload; an injected bit
+	// flip afterwards mimics on-disk corruption and must be caught at load.
+	sum := crc32.Checksum(body, snapCRC)
+	if off, ok := s.opts.Faults.CorruptOffset(len(body)); ok {
+		body[off] ^= 0xFF
+	}
+
+	var header bytes.Buffer
+	header.WriteString(snapMagic)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], snapVersion)
+	header.Write(u16[:])
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(body)))
+	header.Write(u64[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], sum)
+	header.Write(u32[:])
+	if _, err := w.Write(header.Bytes()); err != nil {
+		return &SnapshotError{Op: "save", Err: err}
+	}
+	if _, err := w.Write(body); err != nil {
+		return &SnapshotError{Op: "save", Err: err}
+	}
+	return nil
 }
 
 // LoadState restores state written by SaveState into a freshly opened
 // System (no templates registered, nothing run yet). The System must have
 // been opened with the same database configuration.
-func (s *System) LoadState(r io.Reader) error {
-	var in savedSystem
-	if err := gob.NewDecoder(r).Decode(&in); err != nil {
-		return fmt.Errorf("ppc: load state: %w", err)
-	}
+//
+// A snapshot that fails validation — wrong magic, truncated stream,
+// checksum mismatch, undecodable payload — is NOT an error: LoadState
+// returns nil, leaves the System cold, and records the damage in
+// LoadStateReport. A template whose learner synopsis fails to decode is
+// re-registered cold while the rest of the snapshot is still used. Hard
+// *SnapshotError failures are reserved for states no amount of degrading
+// can fix: a snapshot from a different database, or a System that is not
+// fresh.
+func (s *System) LoadState(r io.Reader) (err error) {
+	defer capturePanic("ppc.LoadState", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if in.DBScale != s.opts.TPCH.Scale || in.DBSeed != s.opts.TPCH.Seed {
-		return fmt.Errorf("ppc: state was learned on database scale=%d seed=%d, this system has scale=%d seed=%d",
-			in.DBScale, in.DBSeed, s.opts.TPCH.Scale, s.opts.TPCH.Seed)
-	}
+	report := &LoadReport{}
+	s.lastLoad = report
 	if s.reg.Count() != 0 || len(s.templates) != 0 {
-		return fmt.Errorf("ppc: LoadState requires a fresh System")
+		return &SnapshotError{Op: "load", Err: fmt.Errorf("LoadState requires a fresh System")}
+	}
+
+	in, reason := decodeSnapshot(r)
+	if reason != "" {
+		report.Corrupt = true
+		report.Reason = reason
+		return nil // degrade to cold
+	}
+	if in.DBScale != s.opts.TPCH.Scale || in.DBSeed != s.opts.TPCH.Seed {
+		return &SnapshotError{Op: "load", Err: fmt.Errorf(
+			"state was learned on database scale=%d seed=%d, this system has scale=%d seed=%d",
+			in.DBScale, in.DBSeed, s.opts.TPCH.Scale, s.opts.TPCH.Seed)}
 	}
 	// Rebuild the registry with identical dense ids.
 	for want, fp := range in.Fingerprints {
 		if got := s.reg.ID(fp); got != want {
-			return fmt.Errorf("ppc: registry rebuild mismatch: %q -> %d, want %d", fp, got, want)
+			return &SnapshotError{Op: "load", Err: fmt.Errorf(
+				"registry rebuild mismatch: %q -> %d, want %d", fp, got, want)}
 		}
 	}
-	// Re-register templates and restore their learners.
+	// Re-register templates and restore their learners. A synopsis that
+	// fails to decode leaves that template cold rather than failing the
+	// whole restore.
 	for _, st := range in.Templates {
 		if err := s.registerLocked(st.Name, st.SQL); err != nil {
 			return err
 		}
-		if err := s.templates[st.Name].online.DecodeState(bytes.NewReader(st.Learner)); err != nil {
-			return fmt.Errorf("ppc: restore template %s: %w", st.Name, err)
+		if derr := s.templates[st.Name].online.DecodeState(bytes.NewReader(st.Learner)); derr != nil {
+			report.Corrupt = true
+			if report.Reason == "" {
+				report.Reason = fmt.Sprintf("template %s synopsis: %v", st.Name, derr)
+			}
+			report.ColdTemplates = append(report.ColdTemplates, st.Name)
+			// Replace the half-decoded learner with a cold one.
+			if rerr := s.recreateLearnerLocked(st.Name); rerr != nil {
+				return rerr
+			}
+			continue
 		}
+		report.Templates++
 	}
-	// Restore plan trees and cache membership.
+	// Restore plan trees and cache membership. A plan without a tree is
+	// dropped (Run re-optimizes on demand).
 	for _, sp := range in.Plans {
 		if sp.Root == nil {
-			return fmt.Errorf("ppc: plan %d has no tree", sp.ID)
+			report.Corrupt = true
+			if report.Reason == "" {
+				report.Reason = fmt.Sprintf("plan %d has no tree", sp.ID)
+			}
+			continue
 		}
 		s.planByID[sp.ID] = &cachedPlan{
 			template: sp.Template,
 			plan:     &optimizer.Plan{Root: sp.Root, Cost: sp.Cost, Fingerprint: sp.Print},
 		}
+		report.Plans++
 	}
 	for _, id := range in.CacheMRU {
 		entry, ok := s.planByID[id]
@@ -138,6 +251,60 @@ func (s *System) LoadState(r io.Reader) error {
 		s.cache.Put(id, entry.plan)
 	}
 	return nil
+}
+
+// decodeSnapshot validates the envelope and decodes the payload. It
+// returns a non-empty reason string when the stream is corrupt.
+func decodeSnapshot(r io.Reader) (*savedSystem, string) {
+	var magic [len(snapMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Sprintf("short header: %v", err)
+	}
+	if string(magic[:]) != snapMagic {
+		return nil, "bad magic (not a PPC snapshot)"
+	}
+	var u16 [2]byte
+	if _, err := io.ReadFull(r, u16[:]); err != nil {
+		return nil, fmt.Sprintf("short version: %v", err)
+	}
+	if v := binary.LittleEndian.Uint16(u16[:]); v != snapVersion {
+		return nil, fmt.Sprintf("unsupported snapshot version %d", v)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
+		return nil, fmt.Sprintf("short length: %v", err)
+	}
+	n := binary.LittleEndian.Uint64(u64[:])
+	if n > maxSnapBody {
+		return nil, fmt.Sprintf("implausible payload length %d", n)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Sprintf("short checksum: %v", err)
+	}
+	want := binary.LittleEndian.Uint32(u32[:])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Sprintf("truncated payload: %v", err)
+	}
+	if got := crc32.Checksum(body, snapCRC); got != want {
+		return nil, fmt.Sprintf("checksum mismatch: got %08x want %08x", got, want)
+	}
+	var in savedSystem
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&in); err != nil {
+		return nil, fmt.Sprintf("payload decode: %v", err)
+	}
+	return &in, ""
+}
+
+// recreateLearnerLocked replaces a template's learner with a cold one
+// (used when its saved synopsis is corrupt). Callers hold s.mu.
+func (s *System) recreateLearnerLocked(name string) error {
+	st := s.templates[name]
+	tmpl := st.tmpl
+	sql := tmpl.SQL
+	delete(s.templates, name)
+	return s.registerLocked(name, sql)
 }
 
 // templateNamesLocked returns sorted template names; callers hold s.mu.

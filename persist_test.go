@@ -114,13 +114,18 @@ func TestLoadStateValidation(t *testing.T) {
 	if err := used.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Error("LoadState accepted a non-fresh system")
 	}
-	// Garbage must fail cleanly.
+	// Garbage must not be an error: the System degrades to a cold learner
+	// and reports the corruption.
 	fresh, err := Open(Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}, Online: onlineForTest()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fresh.LoadState(bytes.NewReader([]byte("not a state"))); err == nil {
-		t.Error("LoadState accepted garbage")
+	if err := fresh.LoadState(bytes.NewReader([]byte("not a state"))); err != nil {
+		t.Errorf("LoadState on garbage must degrade, not fail: %v", err)
+	}
+	rep := fresh.LoadStateReport()
+	if rep == nil || !rep.Corrupt {
+		t.Errorf("corruption not reported: %+v", rep)
 	}
 }
 

@@ -33,6 +33,8 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/executor"
+	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/queries"
@@ -58,6 +60,20 @@ type Options struct {
 	ExecutePlans bool
 	// DisableExecution is the explicit off switch for ExecutePlans.
 	DisableExecution bool
+	// DisableNegativeFeedback is the explicit off switch for the paper's
+	// Section IV-E cost-based error detector, which is on by default
+	// (mirrors DisableExecution).
+	DisableNegativeFeedback bool
+	// Breaker configures the per-template circuit breaker; the zero value
+	// uses the defaults documented on metrics.BreakerConfig.
+	Breaker metrics.BreakerConfig
+	// DisableBreaker turns the circuit breaker off: learner errors then
+	// surface directly from Run instead of tripping into degraded mode.
+	DisableBreaker bool
+	// Faults optionally injects deterministic faults into the optimizer,
+	// executor, learner and snapshot writer (chaos testing). nil disables
+	// injection.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -74,10 +90,11 @@ func (o Options) withDefaults() Options {
 		o.Online.Core.NoiseElimination = true
 	}
 	// The paper's online safety rails are on by default: cost-based
-	// negative feedback and a low random audit rate.
-	if !o.Online.NegativeFeedback {
-		o.Online.NegativeFeedback = true
-	}
+	// negative feedback and a low random audit rate. An explicit
+	// DisableNegativeFeedback switch turns the detector off — setting
+	// Online.NegativeFeedback=false alone cannot, since false is also the
+	// zero value.
+	o.Online.NegativeFeedback = !o.DisableNegativeFeedback
 	if o.Online.InvocationProb == 0 {
 		o.Online.InvocationProb = 0.05
 	}
@@ -100,6 +117,7 @@ type System struct {
 	planByID  map[int]*cachedPlan
 	templates map[string]*templateState
 	opts      Options
+	lastLoad  *LoadReport
 }
 
 // cachedPlan pairs a physical plan with the template it belongs to.
@@ -112,6 +130,14 @@ type templateState struct {
 	tmpl   *optimizer.Template
 	online *core.Online
 	env    *planEnv
+	// breaker quarantines the learner when it misbehaves (nil when
+	// disabled). While open, Run bypasses the learner entirely and invokes
+	// the optimizer directly.
+	breaker *metrics.Breaker
+	// learnerErrs counts Step errors; degradedRuns counts runs served in
+	// always-invoke-the-optimizer mode.
+	learnerErrs  int
+	degradedRuns int
 }
 
 // Open generates the database, builds statistics, and initializes the
@@ -136,7 +162,13 @@ func Open(opts Options) (*System, error) {
 		templates: make(map[string]*templateState),
 		opts:      opts,
 	}
-	s.cache = plancache.MustNew(opts.CacheCapacity, s.planPrecision)
+	s.opt.SetFaults(opts.Faults)
+	s.exec.SetFaults(opts.Faults)
+	cache, err := plancache.New(opts.CacheCapacity, s.planPrecision)
+	if err != nil {
+		return nil, err
+	}
+	s.cache = cache
 	return s, nil
 }
 
@@ -162,7 +194,9 @@ func (s *System) Optimizer() *optimizer.Optimizer { return s.opt }
 func (s *System) Registry() *optimizer.Registry { return s.reg }
 
 // Register parses a SQL template and attaches an online learner to it.
-func (s *System) Register(name, sql string) error {
+// Internal panics are recovered into a typed *InternalError.
+func (s *System) Register(name, sql string) (err error) {
+	defer capturePanic("ppc.Register", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.registerLocked(name, sql)
@@ -189,7 +223,12 @@ func (s *System) registerLocked(name, sql string) error {
 	if err != nil {
 		return err
 	}
-	s.templates[name] = &templateState{tmpl: tmpl, online: online, env: env}
+	online.SetFaults(s.opts.Faults)
+	st := &templateState{tmpl: tmpl, online: online, env: env}
+	if !s.opts.DisableBreaker {
+		st.breaker = metrics.NewBreaker(s.opts.Breaker)
+	}
+	s.templates[name] = st
 	return nil
 }
 
@@ -248,12 +287,25 @@ type RunResult struct {
 	// EstimatedCost is the cost model's estimate for the executed plan at
 	// this instance.
 	EstimatedCost float64
+	// Degraded is true when the circuit breaker bypassed the learner (or a
+	// learner error forced a fallback) and the optimizer was invoked
+	// directly.
+	Degraded bool
 	// Result holds the executed rows (nil when execution is disabled).
 	Result *executor.Result
 }
 
 // Run pushes one query instance through the full PPC workflow of Figure 1.
-func (s *System) Run(template string, values []float64) (*RunResult, error) {
+//
+// Run is fault-hardened: internal panics are recovered into a typed
+// *InternalError, learner-path failures trip the template's circuit breaker
+// and fall back to invoking the optimizer directly (the answer is then the
+// same one a system without a plan cache would produce), and pipeline-stage
+// failures surface as typed *PipelineError values. A Run therefore either
+// succeeds with a correct result or returns a typed error — a misbehaving
+// learner alone can never fail a query.
+func (s *System) Run(template string, values []float64) (res *RunResult, err error) {
+	defer capturePanic("ppc.Run", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.templates[template]
@@ -268,66 +320,127 @@ func (s *System) Run(template string, values []float64) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{Template: template, Values: values, Point: point}
+	res = &RunResult{Template: template, Values: values, Point: point}
 
-	// The learner decides: cached plan or optimizer.
-	st.env.lastErr = nil
-	t0 := time.Now()
-	decision := st.online.Step(point)
-	decide := time.Since(t0)
-	if st.env.lastErr != nil {
-		return nil, st.env.lastErr
+	// The learner decides: cached plan or optimizer — unless the breaker
+	// has quarantined it, in which case the optimizer is invoked directly.
+	degraded := st.breaker != nil && !st.breaker.Allow()
+	if !degraded {
+		st.env.lastOptTime = 0
+		t0 := time.Now()
+		decision, lerr := st.online.Step(point)
+		decide := time.Since(t0)
+		if lerr != nil {
+			// Learner-path failure: count it, trip the breaker toward
+			// degraded mode, and fall back to direct optimization for this
+			// run. The learner's state was not corrupted by the failed step.
+			st.learnerErrs++
+			if st.breaker != nil {
+				st.breaker.RecordFailure()
+			}
+			degraded = true
+		} else {
+			if st.breaker != nil {
+				st.breaker.RecordSuccess()
+				if prec, ok := st.online.Estimator().Precision(); ok {
+					if st.breaker.ObservePrecision(prec, st.online.Estimator().SampleCount()) {
+						// Precision collapse tripped the breaker: drop the
+						// stale window so recovery is judged on fresh
+						// evidence once probes resume.
+						st.online.Estimator().Reset()
+					}
+				}
+			}
+			res.PlanID = decision.Plan
+			res.CacheHit = decision.CacheHit
+			res.Invoked = decision.Invoked
+			res.PredictTime = decide - st.env.lastOptTime
+			if res.PredictTime < 0 {
+				res.PredictTime = 0
+			}
+			res.OptimizeTime = st.env.lastOptTime
+			st.env.lastOptTime = 0
+		}
 	}
-	res.PlanID = decision.Plan
-	res.CacheHit = decision.CacheHit
-	res.Invoked = decision.Invoked
-	res.PredictTime = decide - st.env.lastOptTime
-	if res.PredictTime < 0 {
-		res.PredictTime = 0
-	}
-	res.OptimizeTime = st.env.lastOptTime
-	st.env.lastOptTime = 0
 
-	// Fetch the plan to execute: on a hit, rebind the cached tree; on an
-	// invocation the environment has already cached the fresh plan.
-	entry, ok := s.planByID[decision.Plan]
-	if !ok {
-		// The predicted plan's tree was evicted from the cache: optimize
-		// afresh (a cache miss despite a correct prediction).
+	if degraded {
+		// Always-invoke-the-optimizer mode: the same plan (and answer) a
+		// system without a plan cache would produce. The validated label
+		// still feeds the quarantined learner so it retrains while degraded.
+		res.Degraded = true
+		st.degradedRuns++
 		t1 := time.Now()
-		plan, err := s.opt.OptimizeInstance(inst)
-		if err != nil {
-			return nil, err
+		plan, oerr := s.opt.OptimizeInstance(inst)
+		if oerr != nil {
+			return nil, &PipelineError{Stage: "optimize", Template: template, Err: oerr}
 		}
 		res.OptimizeTime += time.Since(t1)
 		res.Invoked = true
 		res.CacheHit = false
-		id := s.reg.ID(plan.Fingerprint)
-		entry = &cachedPlan{template: template, plan: plan}
-		s.planByID[id] = entry
-		if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
-			delete(s.planByID, evicted)
-		}
-		res.PlanID = id
+		res.PlanID = s.internPlan(template, plan)
+		st.online.LearnValidated(point, res.PlanID, plan.Cost)
 	}
-	bound, err := s.opt.Recost(st.tmpl.Query, entry.plan, values)
-	if err != nil {
-		return nil, err
+
+	// Fetch the plan to execute: on a hit, rebind the cached tree; on an
+	// invocation the environment has already cached the fresh plan. A plan
+	// belonging to another template (a garbled prediction that happens to
+	// resolve) must never execute here — treat it as a miss.
+	entry, ok := s.planByID[res.PlanID]
+	if ok && entry.template != template {
+		ok = false
+	}
+	var bound *optimizer.Plan
+	if ok {
+		bound, err = s.opt.Recost(st.tmpl.Query, entry.plan, values)
+		if err != nil {
+			// The cached tree is unusable for this template (e.g. a garbled
+			// prediction resolved to another template's plan): treat it as a
+			// miss and re-optimize rather than failing the query.
+			ok = false
+		}
+	}
+	if !ok {
+		// The predicted plan's tree was evicted from the cache (or was
+		// unusable): optimize afresh — a cache miss despite a possibly
+		// correct prediction.
+		t1 := time.Now()
+		plan, oerr := s.opt.OptimizeInstance(inst)
+		if oerr != nil {
+			return nil, &PipelineError{Stage: "optimize", Template: template, Err: oerr}
+		}
+		res.OptimizeTime += time.Since(t1)
+		res.Invoked = true
+		res.CacheHit = false
+		res.PlanID = s.internPlan(template, plan)
+		entry = s.planByID[res.PlanID]
+		// OptimizeInstance binds the plan at these values already.
+		bound = plan
 	}
 	res.Fingerprint = entry.plan.Fingerprint
 	res.EstimatedCost = bound.Cost
-	s.cache.Get(decision.Plan) // refresh recency
+	s.cache.Get(res.PlanID) // refresh the executed plan's recency
 
 	if s.opts.ExecutePlans {
 		t1 := time.Now()
-		out, err := s.exec.Run(bound)
-		if err != nil {
-			return nil, err
+		out, xerr := s.exec.Run(bound)
+		if xerr != nil {
+			return nil, &PipelineError{Stage: "execute", Template: template, Err: xerr}
 		}
 		res.ExecuteTime = time.Since(t1)
 		res.Result = out
 	}
 	return res, nil
+}
+
+// internPlan registers a fresh plan in the registry, index and cache, and
+// returns its dense id. Callers hold s.mu.
+func (s *System) internPlan(template string, plan *optimizer.Plan) int {
+	id := s.reg.ID(plan.Fingerprint)
+	s.planByID[id] = &cachedPlan{template: template, plan: plan}
+	if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
+		delete(s.planByID, evicted)
+	}
+	return id
 }
 
 // Stats summarizes a template's learner state.
@@ -344,7 +457,8 @@ type Stats struct {
 }
 
 // TemplateStats reports the online learner's state for one template.
-func (s *System) TemplateStats(template string) (Stats, error) {
+func (s *System) TemplateStats(template string) (out Stats, err error) {
+	defer capturePanic("ppc.TemplateStats", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.templates[template]
@@ -352,7 +466,7 @@ func (s *System) TemplateStats(template string) (Stats, error) {
 		return Stats{}, fmt.Errorf("ppc: template %s not registered", template)
 	}
 	est := st.online.Estimator()
-	out := Stats{
+	out = Stats{
 		Template:        template,
 		Degree:          st.tmpl.Degree(),
 		SamplesAbsorbed: st.online.Predictor().TotalPoints(),
@@ -362,6 +476,43 @@ func (s *System) TemplateStats(template string) (Stats, error) {
 	out.Precision, out.PrecisionKnown = est.Precision()
 	out.Recall, out.RecallKnown = est.Recall()
 	return out, nil
+}
+
+// Health summarizes the fault posture of one template's serving path.
+type Health struct {
+	Template string
+	// Breaker is the circuit breaker's state and counters. Zero-valued
+	// (State Closed, no trips) when the breaker is disabled.
+	Breaker metrics.BreakerSnapshot
+	// BreakerEnabled reports whether a breaker guards this template.
+	BreakerEnabled bool
+	// LearnerErrors counts Step failures on the learner path.
+	LearnerErrors int
+	// DegradedRuns counts Runs served by invoking the optimizer directly
+	// (breaker open, or a same-run fallback after a learner error).
+	DegradedRuns int
+}
+
+// TemplateHealth reports breaker state and degraded-mode counters for one
+// template.
+func (s *System) TemplateHealth(template string) (h Health, err error) {
+	defer capturePanic("ppc.TemplateHealth", &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.templates[template]
+	if st == nil {
+		return Health{}, fmt.Errorf("ppc: template %s not registered", template)
+	}
+	h = Health{
+		Template:      template,
+		LearnerErrors: st.learnerErrs,
+		DegradedRuns:  st.degradedRuns,
+	}
+	if st.breaker != nil {
+		h.BreakerEnabled = true
+		h.Breaker = st.breaker.Snapshot()
+	}
+	return h, nil
 }
 
 // CacheLen returns the number of plans currently cached.
@@ -397,23 +548,20 @@ func (s *System) planPrecision(planID int) (float64, bool) {
 type planEnv struct {
 	sys         *System
 	tmpl        *optimizer.Template
-	lastErr     error
 	lastOptTime time.Duration
 }
 
 // Optimize implements core.Environment: invoke the real optimizer at plan
 // space point x, intern the plan, and cache it.
-func (e *planEnv) Optimize(x []float64) (int, float64) {
+func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 	t0 := time.Now()
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
-		e.lastErr = err
-		return 0, 0
+		return 0, 0, err
 	}
 	plan, err := e.sys.opt.OptimizeInstance(inst)
 	if err != nil {
-		e.lastErr = err
-		return 0, 0
+		return 0, 0, err
 	}
 	e.lastOptTime += time.Since(t0)
 	id := e.sys.reg.ID(plan.Fingerprint)
@@ -424,27 +572,26 @@ func (e *planEnv) Optimize(x []float64) (int, float64) {
 		// dropped so Run re-optimizes if the plan is predicted again.
 		delete(e.sys.planByID, evicted)
 	}
-	return id, plan.Cost
+	return id, plan.Cost, nil
 }
 
 // ExecuteCost implements core.Environment: the execution cost of a given
 // (possibly stale) plan at x, via plan rebinding and recosting.
-func (e *planEnv) ExecuteCost(x []float64, planID int) float64 {
+func (e *planEnv) ExecuteCost(x []float64, planID int) (float64, error) {
 	entry, ok := e.sys.planByID[planID]
-	if !ok {
-		// Plan fell out of the cache; behave like a severe cost surprise so
-		// the learner re-optimizes.
-		return 0
+	if !ok || entry.template != e.tmpl.Name {
+		// Plan fell out of the cache, or belongs to another template (a
+		// garbled prediction); behave like a severe cost surprise so the
+		// learner re-optimizes.
+		return 0, nil
 	}
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
-		e.lastErr = err
-		return 0
+		return 0, err
 	}
 	re, err := e.sys.opt.Recost(e.tmpl.Query, entry.plan, inst.Values)
 	if err != nil {
-		e.lastErr = err
-		return 0
+		return 0, err
 	}
-	return re.Cost
+	return re.Cost, nil
 }
