@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos clean
+.PHONY: tier1 build vet test race chaos bench benchcmp clean
+
+# Benchmark pipeline knobs: `make bench` re-measures the serving-path suite
+# and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
+# `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
+BENCH_BASE ?= bench_baseline.json
+BENCH_OUT  ?= BENCH_PR2.json
 
 # The gate: build, vet, and the full test suite under the race detector.
 tier1:
@@ -22,7 +28,17 @@ race:
 
 # Just the fault-injection / breaker / snapshot-damage suite.
 chaos:
-	$(GO) test -race -run 'TestChaos|TestConcurrent' -v .
+	$(GO) test -race -run 'TestChaos|TestConcurrent|TestParallel' -v .
+
+# Run the go-test serving-path benchmarks with allocation accounting, then
+# regenerate the machine-readable report through cmd/ppcbench.
+bench:
+	$(GO) test -run '^$$' -bench 'ApproxLSHHist|Run' -benchmem .
+	$(GO) run ./cmd/ppcbench -bench -baseline $(BENCH_BASE) -benchout $(BENCH_OUT)
+
+# Benchcmp-style diff of two stored bench reports.
+benchcmp:
+	$(GO) run ./cmd/ppcbench -benchcmp $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,26 @@
+package ppc_test
+
+// go-test entry points for the serving-path benchmark suite. The bodies
+// live in internal/benchsuite so cmd/ppcbench -bench measures exactly the
+// same code via testing.Benchmark; this file is in the external test
+// package because benchsuite imports repro.
+//
+//	go test -bench='Run|ApproxLSHHist' -benchmem
+//	go test -bench=BenchmarkRunParallel -cpu 4
+
+import (
+	"testing"
+
+	"repro/internal/benchsuite"
+)
+
+func BenchmarkPredictApproxLSHHist(b *testing.B) { benchsuite.PredictApproxLSHHist(b) }
+func BenchmarkInsertApproxLSHHist(b *testing.B)  { benchsuite.InsertApproxLSHHist(b) }
+func BenchmarkEndToEndRun(b *testing.B)          { benchsuite.EndToEndRun(b) }
+func BenchmarkRunMixedSerial(b *testing.B)       { benchsuite.RunMixedSerial(b) }
+
+// BenchmarkRunParallel serves the mixed four-template workload from
+// GOMAXPROCS goroutines, each pinned to one template. Against
+// BenchmarkRunMixedSerial it measures the scaling the sharded per-template
+// locks provide; on a single-CPU host the two coincide.
+func BenchmarkRunParallel(b *testing.B) { benchsuite.RunParallel(b) }

@@ -151,30 +151,6 @@ func BenchmarkPredictApproxLSH(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictApproxLSHHist is O(t·log b_h) per prediction (Table I
-// row 4) — the price of a plan-cache lookup in the paper's architecture.
-func BenchmarkPredictApproxLSHHist(b *testing.B) {
-	_, _, _, hist, tests := trainedPredictors(b, 3200)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		hist.Predict(tests[i%len(tests)])
-	}
-}
-
-// BenchmarkInsertApproxLSHHist measures the online insertion path
-// (Section IV-D feedback).
-func BenchmarkInsertApproxLSHHist(b *testing.B) {
-	e := env(b)
-	tmpl := e.Templates["Q1"]
-	hist := core.MustNewApproxLSHHist(core.Config{Dims: tmpl.Degree(), Seed: 5})
-	points := workload.Uniform(tmpl.Degree(), 4096, 13)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := points[i%len(points)]
-		hist.Insert(cluster.Sample{Point: p, Plan: i % 7, Cost: float64(i % 100)})
-	}
-}
-
 // BenchmarkRecost measures plan rebinding — what a cache hit pays instead
 // of full optimization.
 func BenchmarkRecost(b *testing.B) {
@@ -221,38 +197,8 @@ func BenchmarkExecuteQ1(b *testing.B) {
 	}
 }
 
-// BenchmarkEndToEndRun measures the facade's full Run path (predict or
-// optimize, rebind, execute) in steady state.
-func BenchmarkEndToEndRun(b *testing.B) {
-	sys := MustOpen(Options{TPCH: tpchBenchConfig()})
-	if err := sys.Register("Q1", q1SQL()); err != nil {
-		b.Fatal(err)
-	}
-	tmpl, err := sys.Template("Q1")
-	if err != nil {
-		b.Fatal(err)
-	}
-	points := workload.MustTrajectories(workload.TrajectoryConfig{
-		Dims: tmpl.Degree(), NumPoints: 512, Sigma: 0.01, Seed: 3,
-	})
-	values := make([][]float64, len(points))
-	for i, p := range points {
-		inst, err := sys.Optimizer().InstanceAt(tmpl, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		values[i] = inst.Values
-	}
-	// Warm the learner so the benchmark reflects steady state.
-	for i := 0; i < 64; i++ {
-		if _, err := sys.Run("Q1", values[i%len(values)]); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sys.Run("Q1", values[i%len(values)]); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// The serving-path benchmarks (PredictApproxLSHHist, InsertApproxLSHHist,
+// EndToEndRun, RunMixedSerial, RunParallel) live in internal/benchsuite and
+// are exposed as go-test benchmarks by bench_suite_test.go, so the same
+// bodies feed both `go test -bench` and the machine-readable pipeline
+// (cmd/ppcbench -bench).

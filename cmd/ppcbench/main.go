@@ -1,8 +1,11 @@
-// Command ppcbench regenerates the paper's tables and figures.
+// Command ppcbench regenerates the paper's tables and figures, and runs the
+// serving-path benchmark suite in machine-readable form.
 //
 // Usage:
 //
 //	ppcbench [-scale N] [-seed S] [-frac F] [-list] [experiment ...]
+//	ppcbench -bench [-baseline FILE] [-benchout FILE]
+//	ppcbench -benchcmp OLD.json NEW.json
 //
 // With no experiment arguments it runs the full suite in paper order. Each
 // experiment prints an aligned table with the same rows/series the paper
@@ -11,6 +14,12 @@
 //	ppcbench -list            # show available experiment ids
 //	ppcbench fig3 tab2        # run two experiments at full size
 //	ppcbench -frac 0.1 fig8   # quick pass at 10% workload sizes
+//
+// -bench measures the internal/benchsuite serving-path benchmarks (the same
+// bodies `go test -bench` runs) and writes a JSON report: per-benchmark
+// ns/op, allocs/op, B/op, the serial-vs-parallel speedup on a mixed
+// four-template workload, and — with -baseline — benchcmp-style deltas
+// against a stored report. -benchcmp diffs two such reports.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
 )
 
@@ -29,7 +39,33 @@ func main() {
 	frac := flag.Float64("frac", 1.0, "workload size fraction (0 < frac <= 1)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	bench := flag.Bool("bench", false, "run the serving-path benchmark suite and emit a JSON report")
+	benchOut := flag.String("benchout", "", "with -bench: write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "with -bench: embed this stored report and benchcmp-style deltas")
+	benchCmp := flag.Bool("benchcmp", false, "diff two bench report JSON files: ppcbench -benchcmp OLD NEW")
 	flag.Parse()
+
+	if *benchCmp {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-benchcmp takes exactly two report files, got %d", flag.NArg()))
+		}
+		old, err := benchsuite.ReadReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := benchsuite.ReadReport(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		benchsuite.WriteComparison(os.Stdout, old, cur)
+		return
+	}
+	if *bench {
+		if err := runBenchSuite(*baseline, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Registry {
@@ -70,6 +106,42 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runBenchSuite measures the serving-path suite, optionally folds in a
+// stored baseline report, and writes the JSON report to outPath (stdout
+// when empty).
+func runBenchSuite(baselinePath, outPath string) error {
+	rep, err := benchsuite.RunSuite(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		base, err := benchsuite.ReadReport(baselinePath)
+		if err != nil {
+			return err
+		}
+		rep.BaselineFile = baselinePath
+		rep.Baseline = base.Benchmarks
+		rep.Deltas = benchsuite.Compare(base, rep)
+		benchsuite.WriteComparison(os.Stderr, base, rep)
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := benchsuite.WriteReport(out, rep); err != nil {
+		return err
+	}
+	if outPath != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	return nil
 }
 
 // writeCSV writes one experiment table to dir/id.csv.

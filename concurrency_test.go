@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/queries"
 	"repro/internal/tpch"
 )
@@ -112,6 +113,154 @@ func TestConcurrentRegisterAndRun(t *testing.T) {
 	wg.Wait()
 	if got := len(sys.TemplateNames()); got != 9 {
 		t.Errorf("templates = %d", got)
+	}
+}
+
+// Per-template isolation: one template's tripped breaker must not leak into
+// any other template's serving path. Q0's breaker is forced open, then all
+// four templates run in parallel while two more goroutines hammer SaveState
+// and TemplateStats — under the old global mutex this was trivially true
+// (and trivially slow); under sharded locks it is the property the design
+// must preserve.
+func TestParallelTemplateIsolation(t *testing.T) {
+	sys, err := Open(Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: onlineForTest(),
+		// A cooldown far beyond the run count keeps Q0's breaker
+		// deterministically open; the negative floor disables
+		// precision trips so no other template can degrade.
+		Breaker: metrics.BreakerConfig{FailureThreshold: 3, Cooldown: 1_000_000, PrecisionFloor: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Q0", "Q1", "Q2", "Q3"}
+
+	// Trip Q0's breaker directly, as three consecutive learner errors would.
+	st, err := sys.lookup("Q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	for i := 0; i < 3; i++ {
+		st.breaker.RecordFailure()
+	}
+	if got := st.breaker.State(); got != metrics.BreakerOpen {
+		st.mu.Unlock()
+		t.Fatalf("Q0 breaker state after trip = %v", got)
+	}
+	st.mu.Unlock()
+
+	const runsPerTemplate = 40
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for gi, name := range names {
+		wg.Add(1)
+		go func(gi int, name string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			tmpl, err := sys.Template(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < runsPerTemplate; i++ {
+				point := make([]float64, tmpl.Degree())
+				for j := range point {
+					point[j] = 0.2 + rng.Float64()*0.3
+				}
+				inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := sys.Run(name, inst.Values)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				if name == "Q0" && !res.Degraded {
+					t.Errorf("Q0 run %d served non-degraded with its breaker open", i)
+					return
+				}
+				if name != "Q0" && res.Degraded {
+					t.Errorf("%s run %d degraded: Q0's breaker leaked across templates", name, i)
+					return
+				}
+			}
+		}(gi, name)
+	}
+	// Stress the read paths that cross templates while the runs proceed.
+	var stress sync.WaitGroup
+	stress.Add(2)
+	go func() {
+		defer stress.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := sys.SaveState(&buf); err != nil {
+				t.Errorf("concurrent SaveState: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer stress.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			name := names[i%len(names)]
+			if _, err := sys.TemplateStats(name); err != nil {
+				t.Errorf("concurrent TemplateStats(%s): %v", name, err)
+				return
+			}
+			if _, err := sys.TemplateHealth(name); err != nil {
+				t.Errorf("concurrent TemplateHealth(%s): %v", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	stress.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for _, name := range names {
+		h, err := sys.TemplateHealth(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "Q0" {
+			if h.Breaker.State != "open" {
+				t.Errorf("Q0 breaker ended %q, want open", h.Breaker.State)
+			}
+			if h.DegradedRuns != runsPerTemplate {
+				t.Errorf("Q0 DegradedRuns = %d, want %d", h.DegradedRuns, runsPerTemplate)
+			}
+			continue
+		}
+		if h.Breaker.State != "closed" || h.DegradedRuns != 0 {
+			t.Errorf("%s ended breaker=%q degraded=%d, want closed/0", name, h.Breaker.State, h.DegradedRuns)
+		}
+		st, err := sys.TemplateStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SamplesAbsorbed == 0 {
+			t.Errorf("%s absorbed no samples while Q0 was quarantined", name)
+		}
 	}
 }
 

@@ -1,0 +1,231 @@
+// Package benchsuite holds the serving-path benchmark bodies shared by the
+// go-test wrappers (bench_suite_test.go at the repo root) and the
+// machine-readable pipeline (cmd/ppcbench -bench). Each body is an ordinary
+// benchmark function so `go test -bench` and testing.Benchmark measure
+// exactly the same code.
+//
+// The suite covers the hot path of the paper's architecture at three
+// granularities: the predictor in isolation (Predict/Insert on the
+// LSH+histogram synopsis), the facade's full Run path on one template, and
+// the same Run path serialized vs. parallel across a mixed-template
+// workload — the last pair is what the sharded lock design is for.
+package benchsuite
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	ppc "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/queries"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// runTemplates is the mixed workload served by the Run benchmarks: four
+// templates with disjoint learners contending only on the shared plan
+// cache.
+var runTemplates = []string{"Q0", "Q1", "Q2", "Q3"}
+
+// --- Predictor microbenchmark substrate ------------------------------------
+
+var (
+	predOnce  sync.Once
+	predErr   error
+	predEnv   *experiments.Env
+	predHist  *core.ApproxLSHHist
+	predTests [][]float64
+)
+
+// predictorEnv trains the LSH+histogram predictor once on the paper's
+// running-example template (Q1) and keeps it for every suite invocation.
+func predictorEnv(b *testing.B) (*core.ApproxLSHHist, [][]float64) {
+	b.Helper()
+	predOnce.Do(func() {
+		env, err := experiments.NewEnv(1000, 2012)
+		if err != nil {
+			predErr = err
+			return
+		}
+		predEnv = env
+		tmpl := env.Templates["Q1"]
+		oracle := experiments.NewOracle(env, tmpl)
+		samples, err := oracle.SamplePlanSpace(3200, 3)
+		if err != nil {
+			predErr = err
+			return
+		}
+		cfg := core.Config{Dims: tmpl.Degree(), Radius: 0.05, Gamma: 0.7, NoiseElimination: true, Seed: 5}
+		predHist = core.MustNewApproxLSHHist(cfg)
+		for _, s := range samples {
+			predHist.Insert(s)
+		}
+		predTests = workload.Uniform(tmpl.Degree(), 512, 11)
+	})
+	if predErr != nil {
+		b.Fatal(predErr)
+	}
+	return predHist, predTests
+}
+
+// PredictApproxLSHHist measures one plan-cache lookup decision: O(t·log b_h)
+// per prediction (Table I row 4). The PR 2 serving path keeps this
+// allocation-free via per-predictor scratch buffers.
+func PredictApproxLSHHist(b *testing.B) {
+	hist, tests := predictorEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist.Predict(tests[i%len(tests)])
+	}
+}
+
+// InsertApproxLSHHist measures the online insertion path (Section IV-D
+// feedback).
+func InsertApproxLSHHist(b *testing.B) {
+	env := mustSharedEnv(b)
+	tmpl := env.Templates["Q1"]
+	hist := core.MustNewApproxLSHHist(core.Config{Dims: tmpl.Degree(), Seed: 5})
+	points := workload.Uniform(tmpl.Degree(), 4096, 13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := points[i%len(points)]
+		hist.Insert(cluster.Sample{Point: p, Plan: i % 7, Cost: float64(i % 100)})
+	}
+}
+
+// mustSharedEnv returns the lazily built experiment substrate.
+func mustSharedEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	predictorEnv(b)
+	return predEnv
+}
+
+// --- End-to-end Run substrate ----------------------------------------------
+
+var (
+	runOnce sync.Once
+	runErr  error
+	runSys  *ppc.System
+	runVals map[string][][]float64
+)
+
+// runEnv opens one System, registers the mixed-template workload, and warms
+// each template's learner and the shared plan cache so the benchmarks
+// measure steady state (cache hits plus the occasional audit).
+func runEnv(b *testing.B) (*ppc.System, map[string][][]float64) {
+	b.Helper()
+	runOnce.Do(func() {
+		sys, err := ppc.Open(ppc.Options{TPCH: tpch.Config{Scale: 2000, Seed: 5}})
+		if err != nil {
+			runErr = err
+			return
+		}
+		vals := make(map[string][][]float64, len(runTemplates))
+		for _, d := range queries.Defs {
+			name := d.Name
+			keep := false
+			for _, want := range runTemplates {
+				if name == want {
+					keep = true
+				}
+			}
+			if !keep {
+				continue
+			}
+			if err := sys.Register(name, d.SQL); err != nil {
+				runErr = err
+				return
+			}
+			tmpl, err := sys.Template(name)
+			if err != nil {
+				runErr = err
+				return
+			}
+			points := workload.MustTrajectories(workload.TrajectoryConfig{
+				Dims: tmpl.Degree(), NumPoints: 512, Sigma: 0.01, Seed: 3,
+			})
+			pv := make([][]float64, len(points))
+			for i, p := range points {
+				inst, err := sys.Optimizer().InstanceAt(tmpl, p)
+				if err != nil {
+					runErr = err
+					return
+				}
+				pv[i] = inst.Values
+			}
+			vals[name] = pv
+			// Warm the learner so the benchmark reflects steady state.
+			for i := 0; i < 64; i++ {
+				if _, err := sys.Run(name, pv[i%len(pv)]); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+		runSys, runVals = sys, vals
+	})
+	if runErr != nil {
+		b.Fatal(runErr)
+	}
+	return runSys, runVals
+}
+
+// EndToEndRun measures the facade's full Run path (predict or optimize,
+// rebind, execute) in steady state on a single template.
+func EndToEndRun(b *testing.B) {
+	sys, vals := runEnv(b)
+	pts := vals["Q1"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run("Q1", pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunMixedSerial is the serial baseline for RunParallel: the same mixed
+// four-template workload issued from one goroutine.
+func RunMixedSerial(b *testing.B) {
+	sys, vals := runEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := runTemplates[i%len(runTemplates)]
+		pts := vals[name]
+		if _, err := sys.Run(name, pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunParallel issues the mixed-template workload from GOMAXPROCS
+// goroutines, each pinned to one template — the access pattern the
+// per-template locks are sharded for. Compare its ns/op against
+// RunMixedSerial: with the old global mutex the two were equal by
+// construction; with sharded locks the parallel form scales with the
+// number of distinct templates (up to GOMAXPROCS).
+func RunParallel(b *testing.B) {
+	sys, vals := runEnv(b)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lane := int(next.Add(1)-1) % len(runTemplates)
+		name := runTemplates[lane]
+		pts := vals[name]
+		i := 0
+		for pb.Next() {
+			if _, err := sys.Run(name, pts[i%len(pts)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}

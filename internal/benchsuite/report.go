@@ -1,0 +1,195 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Schema identifies the report format; bump on incompatible changes.
+const Schema = "ppc-bench/v1"
+
+// Suite lists the serving-path benchmarks in report order.
+var Suite = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"PredictApproxLSHHist", PredictApproxLSHHist},
+	{"InsertApproxLSHHist", InsertApproxLSHHist},
+	{"EndToEndRun", EndToEndRun},
+	{"RunMixedSerial", RunMixedSerial},
+	{"RunParallel", RunParallel},
+}
+
+// Result is one benchmark measurement in machine-readable form.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Measure runs one suite entry under testing.Benchmark and converts the
+// outcome. A zero-iteration result means the body failed during setup.
+func Measure(name string, fn func(*testing.B)) (Result, error) {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return Result{}, fmt.Errorf("benchsuite: %s produced no iterations (setup failure?)", name)
+	}
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}, nil
+}
+
+// Report is the machine-readable output of one suite run. ParallelSpeedup
+// is RunMixedSerial ns/op divided by RunParallel ns/op — the throughput
+// gain the sharded locks buy on a mixed-template workload. It is bounded
+// above by GOMAXPROCS, so single-CPU hosts report ~1 regardless of the
+// locking design; always read it together with the gomaxprocs field.
+type Report struct {
+	Schema          string   `json:"schema"`
+	Note            string   `json:"note,omitempty"`
+	GoVersion       string   `json:"go_version"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	NumCPU          int      `json:"num_cpu"`
+	Benchmarks      []Result `json:"benchmarks"`
+	ParallelSpeedup float64  `json:"parallel_speedup,omitempty"`
+	// BaselineFile and Deltas are filled when the run is compared against
+	// a stored baseline report (ppcbench -baseline).
+	BaselineFile string   `json:"baseline_file,omitempty"`
+	Baseline     []Result `json:"baseline,omitempty"`
+	Deltas       []Delta  `json:"deltas,omitempty"`
+}
+
+// RunSuite measures every suite entry and assembles a Report.
+func RunSuite(progress io.Writer) (Report, error) {
+	rep := Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, entry := range Suite {
+		if progress != nil {
+			fmt.Fprintf(progress, "benchmarking %s...\n", entry.Name)
+		}
+		res, err := Measure(entry.Name, entry.Fn)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	serial, okS := rep.Find("RunMixedSerial")
+	par, okP := rep.Find("RunParallel")
+	if okS && okP && par.NsPerOp > 0 {
+		rep.ParallelSpeedup = serial.NsPerOp / par.NsPerOp
+	}
+	return rep, nil
+}
+
+// Find returns the named benchmark's result.
+func (r Report) Find(name string) (Result, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Result{}, false
+}
+
+// Delta compares one benchmark between two reports. Percentages follow
+// benchcmp's convention: negative means the new run is better (less time,
+// fewer allocations).
+type Delta struct {
+	Name          string  `json:"name"`
+	OldNsPerOp    float64 `json:"old_ns_per_op"`
+	NewNsPerOp    float64 `json:"new_ns_per_op"`
+	NsDeltaPct    float64 `json:"ns_delta_pct"`
+	OldAllocsOp   float64 `json:"old_allocs_per_op"`
+	NewAllocsOp   float64 `json:"new_allocs_per_op"`
+	AllocDeltaPct float64 `json:"allocs_delta_pct"`
+	OldBytesOp    float64 `json:"old_bytes_per_op"`
+	NewBytesOp    float64 `json:"new_bytes_per_op"`
+	BytesDeltaPct float64 `json:"bytes_delta_pct"`
+}
+
+// Compare produces deltas for every benchmark present in both reports, in
+// the new report's order.
+func Compare(old, cur Report) []Delta {
+	var out []Delta
+	for _, nb := range cur.Benchmarks {
+		ob, ok := old.Find(nb.Name)
+		if !ok {
+			continue
+		}
+		out = append(out, Delta{
+			Name:          nb.Name,
+			OldNsPerOp:    ob.NsPerOp,
+			NewNsPerOp:    nb.NsPerOp,
+			NsDeltaPct:    pctDelta(ob.NsPerOp, nb.NsPerOp),
+			OldAllocsOp:   ob.AllocsPerOp,
+			NewAllocsOp:   nb.AllocsPerOp,
+			AllocDeltaPct: pctDelta(ob.AllocsPerOp, nb.AllocsPerOp),
+			OldBytesOp:    ob.BytesPerOp,
+			NewBytesOp:    nb.BytesPerOp,
+			BytesDeltaPct: pctDelta(ob.BytesPerOp, nb.BytesPerOp),
+		})
+	}
+	return out
+}
+
+// pctDelta is benchcmp's delta: (new-old)/old in percent, 0 when old is 0.
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// WriteComparison prints a benchcmp-style table for the deltas between two
+// reports.
+func WriteComparison(w io.Writer, old, cur Report) {
+	deltas := Compare(old, cur)
+	fmt.Fprintf(w, "%-24s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-24s %14.1f %14.1f %8.2f%% %12.0f %12.0f %8.2f%%\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.NsDeltaPct,
+			d.OldAllocsOp, d.NewAllocsOp, d.AllocDeltaPct)
+	}
+	if old.ParallelSpeedup > 0 || cur.ParallelSpeedup > 0 {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "parallel speedup", old.ParallelSpeedup, cur.ParallelSpeedup)
+	}
+}
+
+// ReadReport loads a report JSON written by WriteReport (or a hand-written
+// baseline in the same schema).
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchsuite: parse %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return Report{}, fmt.Errorf("benchsuite: %s has schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

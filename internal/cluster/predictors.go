@@ -67,6 +67,33 @@ func PredictFromDensities(density map[int]float64, gamma float64) Prediction {
 	return Prediction{Plan: maxPlan, Confidence: conf, OK: true}
 }
 
+// PredictFromDensityList is PredictFromDensities over parallel slices:
+// plans must be sorted ascending and densities[i] is the density of
+// plans[i]. It allocates nothing, so the serving path can vote from
+// reusable scratch buffers. Entries with density <= 0 are ignored.
+func PredictFromDensityList(plans []int, densities []float64, gamma float64) Prediction {
+	var total, maxCount float64
+	maxPlan := -1
+	for i, plan := range plans {
+		c := densities[i]
+		if c <= 0 {
+			continue
+		}
+		total += c
+		if c > maxCount || (c == maxCount && (maxPlan == -1 || plan < maxPlan)) {
+			maxCount, maxPlan = c, plan
+		}
+	}
+	if maxPlan == -1 {
+		return Prediction{OK: false}
+	}
+	conf := Confidence(maxCount, total)
+	if conf < gamma {
+		return Prediction{Confidence: conf, OK: false}
+	}
+	return Prediction{Plan: maxPlan, Confidence: conf, OK: true}
+}
+
 // SingleLinkage is the single-linkage predictor (Section III-A(b)): the
 // plan label of the nearest sample point, NULL beyond radius d.
 type SingleLinkage struct {

@@ -60,7 +60,7 @@ func (p *ApproxLSH) Insert(s cluster.Sample) {
 	}
 	x := clampPoint(s.Point)
 	for i, g := range p.grids {
-		g.insert(p.ensemble.Transform(i).Apply(x), s.Plan, s.Cost)
+		g.insert(applyTransform(p.ensemble.Transform(i), x), s.Plan, s.Cost)
 	}
 	p.plans[s.Plan] = true
 	p.total++
@@ -75,7 +75,7 @@ func (p *ApproxLSH) Predict(x []float64) cluster.Prediction {
 // PredictWithCost implements CostPredictor: the per-plan density (and cost)
 // is the median of the t per-grid estimates.
 func (p *ApproxLSH) PredictWithCost(x []float64) (cluster.Prediction, float64, bool) {
-	if p.total < p.cfg.MinSamples {
+	if p.total < p.cfg.MinSamples || len(x) != p.cfg.Dims {
 		return cluster.Prediction{}, 0, false
 	}
 	x = clampPoint(x)
@@ -84,7 +84,7 @@ func (p *ApproxLSH) PredictWithCost(x []float64) (cluster.Prediction, float64, b
 	costEst := make(map[int][]float64)
 	for i, g := range p.grids {
 		tr := p.ensemble.Transform(i)
-		y := tr.Apply(x)
+		y := applyTransform(tr, x)
 		w := p.cfg.Radius * tr.AxisScale()
 		counts, costs := g.boxDensities(y, w)
 		for plan, c := range counts {

@@ -122,7 +122,8 @@ func (c Config) withDefaults() (Config, error) {
 // one at a time and answers plan predictions in time independent of the
 // number of absorbed samples.
 type Predictor interface {
-	// Insert folds one labeled plan space point into the synopsis.
+	// Insert folds one labeled plan space point into the synopsis. The
+	// sample's Point is not retained: callers may reuse its backing array.
 	Insert(s cluster.Sample)
 	// Predict returns the plan prediction at x (possibly NULL).
 	Predict(x []float64) cluster.Prediction
@@ -159,8 +160,25 @@ func gridCellsPerAxis(budget, dims int) int {
 // clampPoint copies x with every coordinate clamped into [0,1].
 func clampPoint(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = math.Max(0, math.Min(1, v))
-	}
+	clampPointInto(out, x)
 	return out
+}
+
+// clampPointInto clamps x into [0,1] coordinate-wise, writing into dst
+// (which must have length len(x)) — the allocation-free serving variant.
+func clampPointInto(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = math.Max(0, math.Min(1, v))
+	}
+}
+
+// applyTransform applies tr to a point whose dimensionality the caller has
+// already validated; an error here is a programming bug, reported as a
+// panic exactly like the pre-validation Insert contract.
+func applyTransform(tr *lsh.Transform, x []float64) []float64 {
+	y, err := tr.Apply(x)
+	if err != nil {
+		panic(err)
+	}
+	return y
 }

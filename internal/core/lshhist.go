@@ -46,6 +46,73 @@ type ApproxLSHHist struct {
 	ballFrac float64
 	total    int
 	plans    map[int]bool
+	// scr holds the reusable buffers of the allocation-free serving path.
+	// The predictor is not safe for concurrent use — its owner (the
+	// template lock in the facade) serializes Insert/Predict — so a single
+	// scratch per predictor suffices.
+	scr *predictScratch
+}
+
+// predictScratch is the per-predictor working memory reused across
+// Insert/PredictWithCost calls so the steady-state serving path performs no
+// heap allocation. Rows of counts/costs are recycled; they only grow while
+// new plans appear.
+type predictScratch struct {
+	x         []float64   // clamped input point
+	proj      []float64   // one transform's projection output
+	cell      []uint32    // z-order cell coordinates
+	localMass []float64   // per-transform marginal mass in the query range
+	tmp       []float64   // median working buffer (length t)
+	planRow   map[int]int // plan id -> row into counts/costs
+	planIDs   []int       // plans with in-range mass, sorted before voting
+	med       []float64   // per-plan median density, aligned with planIDs
+	counts    [][]float64 // [row][transform] in-range count (0 = none)
+	costs     [][]float64 // [row][transform] in-range average cost
+}
+
+// scratch lazily creates the predictor's scratch buffers (decoded
+// predictors arrive without them).
+func (p *ApproxLSHHist) scratch() *predictScratch {
+	if p.scr == nil {
+		t := p.cfg.Transforms
+		p.scr = &predictScratch{
+			x:         make([]float64, p.cfg.Dims),
+			proj:      make([]float64, p.cfg.OutDims),
+			cell:      make([]uint32, p.cfg.OutDims),
+			localMass: make([]float64, t),
+			tmp:       make([]float64, t),
+			planRow:   make(map[int]int),
+		}
+	}
+	return p.scr
+}
+
+// addPlan registers a plan seen during the current query and returns its
+// row, zeroing a recycled row or growing the row set on first use.
+func (s *predictScratch) addPlan(plan, t int) int {
+	row := len(s.planIDs)
+	s.planIDs = append(s.planIDs, plan)
+	s.planRow[plan] = row
+	if row == len(s.counts) {
+		s.counts = append(s.counts, make([]float64, t))
+		s.costs = append(s.costs, make([]float64, t))
+	} else {
+		for i := range s.counts[row] {
+			s.counts[row][i] = 0
+			s.costs[row][i] = 0
+		}
+	}
+	return row
+}
+
+// sortPlans is an in-place insertion sort (plan sets are tiny; avoids the
+// sort package's interface machinery on the hot path).
+func sortPlans(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // NewApproxLSHHist creates an APPROXIMATE-LSH-HISTOGRAMS predictor.
@@ -115,9 +182,13 @@ func (p *ApproxLSHHist) Insert(s cluster.Sample) {
 	if len(s.Point) != p.cfg.Dims {
 		panic(fmt.Sprintf("core: expected %d dims, got %d", p.cfg.Dims, len(s.Point)))
 	}
-	x := clampPoint(s.Point)
+	sc := p.scratch()
+	clampPointInto(sc.x, s.Point)
 	for i := range p.hists {
-		z := p.curves[i].Value(p.ensemble.Transform(i).Apply(x))
+		if err := p.ensemble.Transform(i).ApplyInto(sc.proj, sc.x); err != nil {
+			panic(err) // dims validated above
+		}
+		z := p.curves[i].ValueWith(sc.cell, sc.proj)
 		h := p.hists[i][s.Plan]
 		if h == nil {
 			h = histogram.MustNewDynamic(p.cfg.HistBuckets, 0, 1)
@@ -136,35 +207,47 @@ func (p *ApproxLSHHist) Predict(x []float64) cluster.Prediction {
 	return pred
 }
 
-// PredictWithCost implements CostPredictor.
+// PredictWithCost implements CostPredictor. The steady-state call performs
+// no heap allocation: every temporary lives in the predictor's scratch.
 func (p *ApproxLSHHist) PredictWithCost(x []float64) (cluster.Prediction, float64, bool) {
-	if p.total < p.cfg.MinSamples {
+	if p.total < p.cfg.MinSamples || len(x) != p.cfg.Dims {
+		// A malformed point answers NULL — the facade's capturePanic guard
+		// must not be bypassable through the predictor boundary.
 		return cluster.Prediction{}, 0, false
 	}
-	x = clampPoint(x)
+	sc := p.scratch()
+	clampPointInto(sc.x, x)
 	t := len(p.hists)
-	countEst := make(map[int][]float64)
-	costEst := make(map[int][]float64)
-	localMass := make([]float64, 0, t)
+	sc.planIDs = sc.planIDs[:0]
+	clear(sc.planRow)
 	for i := range p.hists {
-		z := p.curves[i].Value(p.ensemble.Transform(i).Apply(x))
+		if err := p.ensemble.Transform(i).ApplyInto(sc.proj, sc.x); err != nil {
+			panic(err) // dims validated above
+		}
+		z := p.curves[i].ValueWith(sc.cell, sc.proj)
 		lo, hi := p.queryRange(i, z)
-		localMass = append(localMass, p.marginals[i].RangeCount(lo, hi))
+		sc.localMass[i] = p.marginals[i].RangeCount(lo, hi)
 		for plan, h := range p.hists[i] {
 			cost, count := h.RangeCost(lo, hi)
 			if count <= 0 {
 				continue
 			}
-			countEst[plan] = append(countEst[plan], count)
-			costEst[plan] = append(costEst[plan], cost/count)
+			row, ok := sc.planRow[plan]
+			if !ok {
+				row = sc.addPlan(plan, t)
+			}
+			sc.counts[row][i] = count
+			sc.costs[row][i] = cost / count
 		}
 	}
-	med := make(map[int]float64, len(countEst))
-	for plan, ests := range countEst {
-		for len(ests) < t {
-			ests = append(ests, 0)
-		}
-		med[plan] = median(ests)
+	// Deterministic float accumulation and tie breaking: vote in ascending
+	// plan order, exactly like cluster.PredictFromDensities.
+	sortPlans(sc.planIDs)
+	sc.med = sc.med[:0]
+	for _, plan := range sc.planIDs {
+		// Transforms that saw no density contribute zeros to the median.
+		copy(sc.tmp, sc.counts[sc.planRow[plan]])
+		sc.med = append(sc.med, median(sc.tmp))
 	}
 	// Noise elimination (Section IV-C): plan densities below a fixed
 	// fraction of the plan space point mass found in the query range are
@@ -173,22 +256,30 @@ func (p *ApproxLSHHist) PredictWithCost(x []float64) (cluster.Prediction, float6
 	// total point count; we apply it to the local in-range mass so the
 	// check stays meaningful for sub-bucket interpolated queries.)
 	if p.cfg.NoiseElimination {
-		floor := p.cfg.NoiseFraction * median(localMass)
-		for plan, c := range med {
+		floor := p.cfg.NoiseFraction * median(sc.localMass)
+		for i, c := range sc.med {
 			if c < floor {
-				delete(med, plan)
+				sc.med[i] = 0
 			}
 		}
 	}
-	pred := cluster.PredictFromDensities(med, p.cfg.Gamma)
+	pred := cluster.PredictFromDensityList(sc.planIDs, sc.med, p.cfg.Gamma)
 	if !pred.OK {
 		return pred, 0, false
 	}
-	costs := costEst[pred.Plan]
-	if len(costs) == 0 {
+	// Median cost over the transforms that actually saw the winning plan.
+	row := sc.planRow[pred.Plan]
+	k := 0
+	for i := 0; i < t; i++ {
+		if sc.counts[row][i] > 0 {
+			sc.tmp[k] = sc.costs[row][i]
+			k++
+		}
+	}
+	if k == 0 {
 		return pred, 0, false
 	}
-	return pred, median(costs), true
+	return pred, median(sc.tmp[:k]), true
 }
 
 // queryRange computes the curve interval around z that realizes the

@@ -174,7 +174,7 @@ func (p *Naive) Predict(x []float64) cluster.Prediction {
 
 // PredictWithCost implements CostPredictor.
 func (p *Naive) PredictWithCost(x []float64) (cluster.Prediction, float64, bool) {
-	if p.grid.total < p.cfg.MinSamples {
+	if p.grid.total < p.cfg.MinSamples || len(x) != p.cfg.Dims {
 		return cluster.Prediction{}, 0, false
 	}
 	counts, costs := p.grid.boxDensities(clampPoint(x), p.cfg.Radius)

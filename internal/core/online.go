@@ -297,7 +297,8 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	if o.cfg.PositiveFeedback && correct &&
 		pred.Confidence >= o.cfg.PositiveConfidence &&
 		float64(o.selfLabeled) < o.cfg.PositiveRatio*float64(o.validated) {
-		o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: pred.Plan, Cost: observed})
+		// Insert does not retain the point, so no defensive copy is needed.
+		o.pred.Insert(cluster.Sample{Point: x, Plan: pred.Plan, Cost: observed})
 		o.selfLabeled++
 		d.PositiveInsertion = true
 	}
@@ -312,7 +313,7 @@ func (o *Online) optimizeAndLearn(x []float64) (int, float64, error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: optimize at %v: %w", x, err)
 	}
-	o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: plan, Cost: cost})
+	o.pred.Insert(cluster.Sample{Point: x, Plan: plan, Cost: cost})
 	o.validated++
 	return plan, cost, nil
 }
@@ -321,12 +322,15 @@ func (o *Online) optimizeAndLearn(x []float64) (int, float64, error) {
 // bypassing the prediction protocol. Degraded-mode callers (circuit breaker
 // open, every query routed straight to the optimizer) use it to keep
 // retraining the quarantined learner so half-open probes can succeed.
-func (o *Online) LearnValidated(x []float64, plan int, cost float64) {
+// A dimensionality mismatch is reported as an error — a dropped retraining
+// point must be observable, not silent.
+func (o *Online) LearnValidated(x []float64, plan int, cost float64) error {
 	if len(x) != o.cfg.Core.Dims {
-		return
+		return fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
 	}
-	o.pred.Insert(cluster.Sample{Point: append([]float64(nil), x...), Plan: plan, Cost: cost})
+	o.pred.Insert(cluster.Sample{Point: x, Plan: plan, Cost: cost})
 	o.validated++
+	return nil
 }
 
 // SetFaults attaches a fault injector (nil disables injection).

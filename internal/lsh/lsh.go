@@ -128,11 +128,26 @@ func (t *Transform) OutputDims() int { return t.outDims }
 // Apply maps a plan space point in [0,1]^r to normalized intermediate
 // coordinates in [0,1]^s. Output coordinates are clamped to [0,1]; the
 // random shift can push points at the very top edge marginally past 1.
-func (t *Transform) Apply(x []float64) []float64 {
-	if len(x) != t.inDims {
-		panic(fmt.Sprintf("lsh: expected %d coordinates, got %d", t.inDims, len(x)))
-	}
+// It returns an error if len(x) != InputDims().
+func (t *Transform) Apply(x []float64) ([]float64, error) {
 	out := make([]float64, t.outDims)
+	if err := t.ApplyInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyInto is Apply without the allocation: it writes the transformed
+// coordinates into dst, which must have length OutputDims(). Serving paths
+// pass a per-template scratch buffer here so the no-insert predict path
+// allocates nothing.
+func (t *Transform) ApplyInto(dst, x []float64) error {
+	if len(x) != t.inDims {
+		return fmt.Errorf("lsh: expected %d coordinates, got %d", t.inDims, len(x))
+	}
+	if len(dst) != t.outDims {
+		return fmt.Errorf("lsh: destination has %d coordinates, need %d", len(dst), t.outDims)
+	}
 	for j := 0; j < t.outDims; j++ {
 		var p float64
 		for i, xi := range x {
@@ -146,9 +161,9 @@ func (t *Transform) Apply(x []float64) []float64 {
 		} else if v > 1 {
 			v = 1
 		}
-		out[j] = v
+		dst[j] = v
 	}
-	return out
+	return nil
 }
 
 // AxisScale returns the factor by which a plan-space displacement bounds
@@ -197,11 +212,30 @@ func (e *Ensemble) Size() int { return len(e.transforms) }
 func (e *Ensemble) Transform(i int) *Transform { return e.transforms[i] }
 
 // Apply maps a plan space point through every transformation, returning
-// one intermediate point per transformation.
-func (e *Ensemble) Apply(x []float64) [][]float64 {
+// one intermediate point per transformation. It returns an error if
+// len(x) does not match the transforms' input dimensionality.
+func (e *Ensemble) Apply(x []float64) ([][]float64, error) {
 	out := make([][]float64, len(e.transforms))
 	for i, tr := range e.transforms {
-		out[i] = tr.Apply(x)
+		p, err := tr.Apply(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
 	}
-	return out
+	return out, nil
+}
+
+// ApplyInto is Apply without the allocations: dst must hold one slice per
+// transformation, each of length OutputDims().
+func (e *Ensemble) ApplyInto(dst [][]float64, x []float64) error {
+	if len(dst) != len(e.transforms) {
+		return fmt.Errorf("lsh: destination has %d rows, need %d", len(dst), len(e.transforms))
+	}
+	for i, tr := range e.transforms {
+		if err := tr.ApplyInto(dst[i], x); err != nil {
+			return err
+		}
+	}
+	return nil
 }

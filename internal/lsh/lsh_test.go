@@ -52,7 +52,7 @@ func TestApplyOutputInUnitCube(t *testing.T) {
 			for j := range x {
 				x[j] = rng.Float64()
 			}
-			y := tr.Apply(x)
+			y := mustApply(t, tr, x)
 			if len(y) != cfg.s {
 				t.Fatalf("output dims = %d, want %d", len(y), cfg.s)
 			}
@@ -68,7 +68,7 @@ func TestApplyOutputInUnitCube(t *testing.T) {
 func TestApplyDeterministic(t *testing.T) {
 	tr := MustNewTransform(3, 3, 16, rand.New(rand.NewSource(5)))
 	x := []float64{0.2, 0.7, 0.4}
-	a, b := tr.Apply(x), tr.Apply(x)
+	a, b := mustApply(t, tr, x), mustApply(t, tr, x)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("Apply not deterministic")
@@ -76,14 +76,37 @@ func TestApplyDeterministic(t *testing.T) {
 	}
 }
 
-func TestApplyPanicsOnWrongDims(t *testing.T) {
+func TestApplyErrorsOnWrongDims(t *testing.T) {
 	tr := MustNewTransform(3, 2, 16, rand.New(rand.NewSource(5)))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if _, err := tr.Apply([]float64{0.1, 0.2}); err == nil {
+		t.Fatal("expected error for wrong input dims")
+	}
+	if err := tr.ApplyInto(make([]float64, 2), []float64{0.1, 0.2}); err == nil {
+		t.Fatal("expected error for wrong input dims via ApplyInto")
+	}
+	if err := tr.ApplyInto(make([]float64, 3), []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Fatal("expected error for wrong destination dims")
+	}
+}
+
+// ApplyInto must agree exactly with Apply: the serving path swaps between
+// them depending on whether a scratch buffer is available.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := MustNewTransform(4, 3, 32, rng)
+	dst := make([]float64, 3)
+	for i := 0; i < 200; i++ {
+		x := randPoint(rng, 4)
+		want := mustApply(t, tr, x)
+		if err := tr.ApplyInto(dst, x); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	tr.Apply([]float64{0.1, 0.2})
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("ApplyInto diverges at coordinate %d: %v vs %v", j, dst[j], want[j])
+			}
+		}
+	}
 }
 
 // The defining property: the transformation is locality-preserving — it
@@ -99,8 +122,8 @@ func TestLocalityPreservation(t *testing.T) {
 			x := randPoint(rng, cfg.r)
 			near := perturb(rng, x, 0.01)
 			far := randPoint(rng, cfg.r)
-			dNear := geom.Dist(tr.Apply(x), tr.Apply(near))
-			dFar := geom.Dist(tr.Apply(x), tr.Apply(far))
+			dNear := geom.Dist(mustApply(t, tr, x), mustApply(t, tr, near))
+			dFar := geom.Dist(mustApply(t, tr, x), mustApply(t, tr, far))
 			nearOut += dNear
 			farOut += dFar
 			// Contraction bound (projections cannot expand): distance in
@@ -128,9 +151,24 @@ func TestEnsembleDiversity(t *testing.T) {
 		t.Fatalf("Size = %d", e.Size())
 	}
 	x := []float64{0.3, 0.6}
-	images := e.Apply(x)
+	images, err := e.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(images) != 5 {
 		t.Fatalf("Apply returned %d images", len(images))
+	}
+	into := [][]float64{make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 2)}
+	if err := e.ApplyInto(into, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range images {
+		if geom.Dist(images[i], into[i]) != 0 {
+			t.Fatalf("Ensemble.ApplyInto diverges from Apply at transform %d", i)
+		}
+	}
+	if err := e.ApplyInto(into[:3], x); err == nil {
+		t.Error("expected error for short destination")
 	}
 	distinct := 0
 	for i := 1; i < len(images); i++ {
@@ -160,7 +198,7 @@ func TestApplySpread(t *testing.T) {
 	lo := []float64{math.Inf(1), math.Inf(1)}
 	hi := []float64{math.Inf(-1), math.Inf(-1)}
 	for i := 0; i < 5000; i++ {
-		y := tr.Apply(randPoint(rng, 2))
+		y := mustApply(t, tr, randPoint(rng, 2))
 		for j, v := range y {
 			lo[j] = math.Min(lo[j], v)
 			hi[j] = math.Max(hi[j], v)
@@ -171,6 +209,15 @@ func TestApplySpread(t *testing.T) {
 			t.Errorf("axis %d spread = %v, want >= 0.3", j, hi[j]-lo[j])
 		}
 	}
+}
+
+func mustApply(t *testing.T, tr *Transform, x []float64) []float64 {
+	t.Helper()
+	y, err := tr.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
 }
 
 func randPoint(rng *rand.Rand, r int) []float64 {

@@ -78,9 +78,9 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
-// Breaker is the per-template circuit breaker. Like the estimators in this
-// package it is not safe for concurrent use; the System serializes access
-// under its lock.
+// Breaker is the per-template circuit breaker. Unlike TemplateEstimator it
+// is not internally synchronized: every breaker belongs to exactly one
+// template and the System serializes access under that template's lock.
 type Breaker struct {
 	cfg          BreakerConfig
 	state        BreakerState

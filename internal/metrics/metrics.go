@@ -7,6 +7,8 @@
 // directly.
 package metrics
 
+import "sync"
+
 // Window is a fixed-capacity sliding window over boolean outcomes.
 // The zero value is unusable; use NewWindow.
 type Window struct {
@@ -62,7 +64,15 @@ func (w *Window) Reset() {
 // template: per-plan precision windows, a template precision window over
 // NULL-free predictions, and an answered-window measuring β (the NULL-free
 // fraction), from which recall is derived.
+//
+// TemplateEstimator is safe for concurrent use. It is the one leaf of the
+// serving path's lock hierarchy that is internally synchronized: updates
+// arrive from the owning template's learner (under the template lock) while
+// reads arrive from the shared plan cache's eviction scoring (under the
+// cache lock), and those two paths must never have to take each other's
+// locks. No TemplateEstimator method acquires any other lock.
 type TemplateEstimator struct {
+	mu       sync.Mutex
 	k        int
 	perPlan  map[int]*Window
 	prec     *Window // correctness of NULL-free predictions
@@ -81,12 +91,16 @@ func NewTemplateEstimator(k int) *TemplateEstimator {
 
 // RecordNull records a NULL prediction (no plan emitted).
 func (e *TemplateEstimator) RecordNull() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.answered.Add(false)
 }
 
 // RecordPrediction records a NULL-free prediction of plan and whether it
 // was (estimated to be) correct.
 func (e *TemplateEstimator) RecordPrediction(plan int, correct bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.answered.Add(true)
 	e.prec.Add(correct)
 	w := e.perPlan[plan]
@@ -99,19 +113,29 @@ func (e *TemplateEstimator) RecordPrediction(plan int, correct bool) {
 
 // Precision returns prec_k[Q]: the estimated precision over the last k
 // NULL-free predictions, and false when no predictions have been made.
-func (e *TemplateEstimator) Precision() (float64, bool) { return e.prec.Rate() }
+func (e *TemplateEstimator) Precision() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prec.Rate()
+}
 
 // Beta returns the NULL-free fraction β over the last k predictions.
-func (e *TemplateEstimator) Beta() (float64, bool) { return e.answered.Rate() }
+func (e *TemplateEstimator) Beta() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.answered.Rate()
+}
 
 // Recall returns rec_k[Q] = β · prec_k[Q] (Section IV-E identity), and
 // false when nothing has been recorded.
 func (e *TemplateEstimator) Recall() (float64, bool) {
-	beta, ok1 := e.Beta()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	beta, ok1 := e.answered.Rate()
 	if !ok1 {
 		return 0, false
 	}
-	prec, ok2 := e.Precision()
+	prec, ok2 := e.prec.Rate()
 	if !ok2 {
 		// Predictions exist but all were NULL: recall estimate is 0.
 		return 0, true
@@ -122,6 +146,8 @@ func (e *TemplateEstimator) Recall() (float64, bool) {
 // PlanPrecision returns prec_k[P] for one plan, and false if that plan has
 // no recorded predictions.
 func (e *TemplateEstimator) PlanPrecision(plan int) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	w := e.perPlan[plan]
 	if w == nil {
 		return 0, false
@@ -131,6 +157,8 @@ func (e *TemplateEstimator) PlanPrecision(plan int) (float64, bool) {
 
 // Plans returns the identifiers of plans with recorded predictions.
 func (e *TemplateEstimator) Plans() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]int, 0, len(e.perPlan))
 	for p := range e.perPlan {
 		out = append(out, p)
@@ -139,10 +167,16 @@ func (e *TemplateEstimator) Plans() []int {
 }
 
 // SampleCount returns how many predictions (NULL or not) are in the window.
-func (e *TemplateEstimator) SampleCount() int { return e.answered.Len() }
+func (e *TemplateEstimator) SampleCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.answered.Len()
+}
 
 // Reset clears all windows (used when drift detection restarts a template).
 func (e *TemplateEstimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.perPlan = make(map[int]*Window)
 	e.prec.Reset()
 	e.answered.Reset()

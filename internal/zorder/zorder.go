@@ -125,11 +125,22 @@ func (c *Curve) CellWidth() float64 { return 1 / float64(c.TotalCells()) }
 // CellOf quantizes a point with coordinates in [0,1] (values outside are
 // clamped) to grid cell coordinates.
 func (c *Curve) CellOf(point []float64) []uint32 {
+	cell := make([]uint32, c.dims)
+	c.CellOfInto(cell, point)
+	return cell
+}
+
+// CellOfInto is CellOf without the allocation: it quantizes point into
+// cell, which must have length Dims(). It panics on length mismatches,
+// like CellOf.
+func (c *Curve) CellOfInto(cell []uint32, point []float64) {
 	if len(point) != c.dims {
 		panic(fmt.Sprintf("zorder: expected %d coordinates, got %d", c.dims, len(point)))
 	}
+	if len(cell) != c.dims {
+		panic(fmt.Sprintf("zorder: cell buffer has %d coordinates, need %d", len(cell), c.dims))
+	}
 	limit := c.CellsPerAxis()
-	cell := make([]uint32, c.dims)
 	for i, v := range point {
 		if v <= 0 {
 			cell[i] = 0
@@ -141,11 +152,17 @@ func (c *Curve) CellOf(point []float64) []uint32 {
 		}
 		cell[i] = x
 	}
-	return cell
 }
 
 // Value maps a point in [0,1]^dims directly to its normalized z-order
 // position in [0,1). This is the T_ij(x) linearization of Section IV-C.
 func (c *Curve) Value(point []float64) float64 {
 	return c.Normalize(c.Encode(c.CellOf(point)))
+}
+
+// ValueWith is Value using a caller-provided cell scratch buffer of length
+// Dims(), so the hot predict path performs no allocation.
+func (c *Curve) ValueWith(cell []uint32, point []float64) float64 {
+	c.CellOfInto(cell, point)
+	return c.Normalize(c.Encode(cell))
 }

@@ -90,18 +90,46 @@ type LoadReport struct {
 // LoadStateReport returns the report of the most recent LoadState call, or
 // nil if LoadState has not been called.
 func (s *System) LoadStateReport() *LoadReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
 	return s.lastLoad
 }
 
 // SaveState writes the system's learned state to w in the framed,
 // checksummed snapshot format.
+//
+// Under the sharded locking scheme a snapshot of a live system is
+// per-template consistent, not globally atomic: each learner is encoded
+// under its own template lock while other templates keep serving. The plan
+// registry is append-only with dense ids, so collecting its fingerprints
+// AFTER the learners guarantees every plan id referenced by a synopsis is
+// present in the saved registry; a plan id whose tree is missing from the
+// saved cache simply re-optimizes on demand after restore, exactly like an
+// evicted plan.
 func (s *System) SaveState(w io.Writer) (err error) {
 	defer capturePanic("ppc.SaveState", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := savedSystem{DBScale: s.opts.TPCH.Scale, DBSeed: s.opts.TPCH.Seed}
+	s.regMu.RLock()
+	names := s.templateNamesLocked()
+	states := make([]*templateState, len(names))
+	for i, name := range names {
+		states[i] = s.templates[name]
+	}
+	s.regMu.RUnlock()
+	for i, name := range names {
+		st := states[i]
+		var buf bytes.Buffer
+		st.mu.Lock()
+		encErr := st.online.EncodeState(&buf)
+		st.mu.Unlock()
+		if encErr != nil {
+			return &SnapshotError{Op: "save", Err: fmt.Errorf("template %s: %w", name, encErr)}
+		}
+		out.Templates = append(out.Templates, savedTemplate{
+			Name: name, SQL: st.tmpl.SQL, Learner: buf.Bytes(),
+		})
+	}
+	// Registry fingerprints come after the learners (see doc comment).
 	for id := 0; ; id++ {
 		fp := s.reg.Fingerprint(id)
 		if fp == "" {
@@ -109,19 +137,10 @@ func (s *System) SaveState(w io.Writer) (err error) {
 		}
 		out.Fingerprints = append(out.Fingerprints, fp)
 	}
-	for _, name := range s.templateNamesLocked() {
-		st := s.templates[name]
-		var buf bytes.Buffer
-		if err := st.online.EncodeState(&buf); err != nil {
-			return &SnapshotError{Op: "save", Err: fmt.Errorf("template %s: %w", name, err)}
-		}
-		out.Templates = append(out.Templates, savedTemplate{
-			Name: name, SQL: st.tmpl.SQL, Learner: buf.Bytes(),
-		})
-	}
+	s.cacheMu.RLock()
 	for id, entry := range s.planByID {
 		out.Plans = append(out.Plans, savedPlan{
-			ID: id, Template: entry.template,
+			ID: id, Template: entry.owner.tmpl.Name,
 			Root: entry.plan.Root, Cost: entry.plan.Cost, Print: entry.plan.Fingerprint,
 		})
 	}
@@ -133,6 +152,7 @@ func (s *System) SaveState(w io.Writer) (err error) {
 			out.CacheMRU = append(out.CacheMRU, id)
 		}
 	}
+	s.cacheMu.RUnlock()
 
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&out); err != nil {
@@ -180,10 +200,12 @@ func (s *System) SaveState(w io.Writer) (err error) {
 // fresh.
 func (s *System) LoadState(r io.Reader) (err error) {
 	defer capturePanic("ppc.LoadState", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	report := &LoadReport{}
+	s.loadMu.Lock()
 	s.lastLoad = report
+	s.loadMu.Unlock()
 	if s.reg.Count() != 0 || len(s.templates) != 0 {
 		return &SnapshotError{Op: "load", Err: fmt.Errorf("LoadState requires a fresh System")}
 	}
@@ -227,19 +249,24 @@ func (s *System) LoadState(r io.Reader) (err error) {
 		}
 		report.Templates++
 	}
-	// Restore plan trees and cache membership. A plan without a tree is
-	// dropped (Run re-optimizes on demand).
+	// Restore plan trees and cache membership under the cache lock
+	// (regMu > cacheMu in the hierarchy). A plan without a tree, or whose
+	// owning template is not in the snapshot, is dropped (Run re-optimizes
+	// on demand).
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	for _, sp := range in.Plans {
-		if sp.Root == nil {
+		owner := s.templates[sp.Template]
+		if sp.Root == nil || owner == nil {
 			report.Corrupt = true
 			if report.Reason == "" {
-				report.Reason = fmt.Sprintf("plan %d has no tree", sp.ID)
+				report.Reason = fmt.Sprintf("plan %d has no tree or unknown template %q", sp.ID, sp.Template)
 			}
 			continue
 		}
 		s.planByID[sp.ID] = &cachedPlan{
-			template: sp.Template,
-			plan:     &optimizer.Plan{Root: sp.Root, Cost: sp.Cost, Fingerprint: sp.Print},
+			owner: owner,
+			plan:  &optimizer.Plan{Root: sp.Root, Cost: sp.Cost, Fingerprint: sp.Print},
 		}
 		report.Plans++
 	}
@@ -298,7 +325,7 @@ func decodeSnapshot(r io.Reader) (*savedSystem, string) {
 }
 
 // recreateLearnerLocked replaces a template's learner with a cold one
-// (used when its saved synopsis is corrupt). Callers hold s.mu.
+// (used when its saved synopsis is corrupt). Callers hold s.regMu.
 func (s *System) recreateLearnerLocked(name string) error {
 	st := s.templates[name]
 	tmpl := st.tmpl
@@ -307,7 +334,7 @@ func (s *System) recreateLearnerLocked(name string) error {
 	return s.registerLocked(name, sql)
 }
 
-// templateNamesLocked returns sorted template names; callers hold s.mu.
+// templateNamesLocked returns sorted template names; callers hold s.regMu.
 func (s *System) templateNamesLocked() []string {
 	names := make([]string, 0, len(s.templates))
 	for n := range s.templates {

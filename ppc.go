@@ -103,31 +103,61 @@ func (o Options) withDefaults() Options {
 }
 
 // System is an open PPC-enabled database instance. Safe for concurrent use
-// by multiple goroutines.
+// by multiple goroutines; queries against different templates proceed in
+// parallel.
+//
+// Lock hierarchy (see DESIGN.md "Concurrency architecture"; locks are
+// always acquired top to bottom, never in reverse):
+//
+//	regMu  > templateState.mu > cacheMu > TemplateEstimator.mu
+//
+// regMu guards the template registry map; each templateState.mu serializes
+// that template's learner, breaker and scratch buffers; cacheMu guards the
+// shared plan cache and the plan-id index; the estimator is an internally
+// synchronized leaf so cache eviction can score plans without any template
+// lock. The optimizer, executor, catalog and plan registry are read-only or
+// internally synchronized and are used outside all facade locks.
 type System struct {
-	mu sync.Mutex
-
 	db   *tpch.Database
 	cat  *catalog.Catalog
 	opt  *optimizer.Optimizer
 	exec *executor.Executor
 	reg  *optimizer.Registry
 
-	cache     *plancache.Cache
-	planByID  map[int]*cachedPlan
+	// regMu guards the templates map. Per-template state has its own lock.
+	regMu     sync.RWMutex
 	templates map[string]*templateState
-	opts      Options
-	lastLoad  *LoadReport
+
+	// cacheMu guards the shared plan cache and the id -> plan index. Even
+	// cache reads take the write lock when they touch recency (Get moves
+	// the entry to the LRU front).
+	cacheMu  sync.RWMutex
+	cache    *plancache.Cache
+	planByID map[int]*cachedPlan
+
+	// loadMu guards lastLoad.
+	loadMu   sync.Mutex
+	lastLoad *LoadReport
+
+	opts Options
 }
 
-// cachedPlan pairs a physical plan with the template it belongs to.
+// cachedPlan pairs a physical plan with the template state that owns it.
+// The owner pointer lets the eviction scorer and the foreign-plan guard
+// resolve a plan's template without the registry lock.
 type cachedPlan struct {
-	template string
-	plan     *optimizer.Plan
+	owner *templateState
+	plan  *optimizer.Plan
 }
 
+// templateState is one template's serving state. Its mutex serializes the
+// learner protocol (Step/LearnValidated, including the predictor's scratch
+// buffers), the circuit breaker, and the health counters. The tmpl field is
+// immutable after construction and may be read without the lock.
 type templateState struct {
-	tmpl   *optimizer.Template
+	tmpl *optimizer.Template
+
+	mu     sync.Mutex
 	online *core.Online
 	env    *planEnv
 	// breaker quarantines the learner when it misbehaves (nil when
@@ -135,9 +165,11 @@ type templateState struct {
 	// the optimizer directly.
 	breaker *metrics.Breaker
 	// learnerErrs counts Step errors; degradedRuns counts runs served in
-	// always-invoke-the-optimizer mode.
+	// always-invoke-the-optimizer mode; retrainDrops counts degraded-mode
+	// retraining points the learner rejected (dimensionality mismatch).
 	learnerErrs  int
 	degradedRuns int
+	retrainDrops int
 }
 
 // Open generates the database, builds statistics, and initializes the
@@ -197,12 +229,12 @@ func (s *System) Registry() *optimizer.Registry { return s.reg }
 // Internal panics are recovered into a typed *InternalError.
 func (s *System) Register(name, sql string) (err error) {
 	defer capturePanic("ppc.Register", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	return s.registerLocked(name, sql)
 }
 
-// registerLocked implements Register; callers hold s.mu.
+// registerLocked implements Register; callers hold s.regMu.
 func (s *System) registerLocked(name, sql string) error {
 	if _, dup := s.templates[name]; dup {
 		return fmt.Errorf("ppc: template %s already registered", name)
@@ -225,6 +257,7 @@ func (s *System) registerLocked(name, sql string) error {
 	}
 	online.SetFaults(s.opts.Faults)
 	st := &templateState{tmpl: tmpl, online: online, env: env}
+	env.st = st
 	if !s.opts.DisableBreaker {
 		st.breaker = metrics.NewBreaker(s.opts.Breaker)
 	}
@@ -242,21 +275,30 @@ func (s *System) RegisterStandard() error {
 	return nil
 }
 
+// lookup resolves a template name to its state under the registry lock.
+func (s *System) lookup(template string) (*templateState, error) {
+	s.regMu.RLock()
+	st := s.templates[template]
+	s.regMu.RUnlock()
+	if st == nil {
+		return nil, fmt.Errorf("ppc: template %s not registered", template)
+	}
+	return st, nil
+}
+
 // Template returns a registered template.
 func (s *System) Template(name string) (*optimizer.Template, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.templates[name]
-	if st == nil {
-		return nil, fmt.Errorf("ppc: template %s not registered", name)
+	st, err := s.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return st.tmpl, nil
 }
 
 // TemplateNames returns the registered template names, sorted.
 func (s *System) TemplateNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
 	names := make([]string, 0, len(s.templates))
 	for n := range s.templates {
 		names = append(names, n)
@@ -304,13 +346,16 @@ type RunResult struct {
 // failures surface as typed *PipelineError values. A Run therefore either
 // succeeds with a correct result or returns a typed error — a misbehaving
 // learner alone can never fail a query.
+//
+// Concurrency: Run holds its template's lock only for the learner decision;
+// instantiation, optimization, plan rebinding and execution happen outside
+// it, and the shared cache is touched only briefly under its own lock — so
+// runs against different templates proceed in parallel.
 func (s *System) Run(template string, values []float64) (res *RunResult, err error) {
 	defer capturePanic("ppc.Run", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.templates[template]
-	if st == nil {
-		return nil, fmt.Errorf("ppc: template %s not registered", template)
+	st, err := s.lookup(template)
+	if err != nil {
+		return nil, err
 	}
 	inst, err := st.tmpl.Instantiate(values)
 	if err != nil {
@@ -324,101 +369,17 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 
 	// The learner decides: cached plan or optimizer — unless the breaker
 	// has quarantined it, in which case the optimizer is invoked directly.
-	degraded := st.breaker != nil && !st.breaker.Allow()
-	if !degraded {
-		st.env.lastOptTime = 0
-		t0 := time.Now()
-		decision, lerr := st.online.Step(point)
-		decide := time.Since(t0)
-		if lerr != nil {
-			// Learner-path failure: count it, trip the breaker toward
-			// degraded mode, and fall back to direct optimization for this
-			// run. The learner's state was not corrupted by the failed step.
-			st.learnerErrs++
-			if st.breaker != nil {
-				st.breaker.RecordFailure()
-			}
-			degraded = true
-		} else {
-			if st.breaker != nil {
-				st.breaker.RecordSuccess()
-				if prec, ok := st.online.Estimator().Precision(); ok {
-					if st.breaker.ObservePrecision(prec, st.online.Estimator().SampleCount()) {
-						// Precision collapse tripped the breaker: drop the
-						// stale window so recovery is judged on fresh
-						// evidence once probes resume.
-						st.online.Estimator().Reset()
-					}
-				}
-			}
-			res.PlanID = decision.Plan
-			res.CacheHit = decision.CacheHit
-			res.Invoked = decision.Invoked
-			res.PredictTime = decide - st.env.lastOptTime
-			if res.PredictTime < 0 {
-				res.PredictTime = 0
-			}
-			res.OptimizeTime = st.env.lastOptTime
-			st.env.lastOptTime = 0
-		}
-	}
-
+	degraded := s.decide(st, res, point)
 	if degraded {
-		// Always-invoke-the-optimizer mode: the same plan (and answer) a
-		// system without a plan cache would produce. The validated label
-		// still feeds the quarantined learner so it retrains while degraded.
-		res.Degraded = true
-		st.degradedRuns++
-		t1 := time.Now()
-		plan, oerr := s.opt.OptimizeInstance(inst)
-		if oerr != nil {
-			return nil, &PipelineError{Stage: "optimize", Template: template, Err: oerr}
+		if err := s.runDegraded(st, res, inst, point); err != nil {
+			return nil, err
 		}
-		res.OptimizeTime += time.Since(t1)
-		res.Invoked = true
-		res.CacheHit = false
-		res.PlanID = s.internPlan(template, plan)
-		st.online.LearnValidated(point, res.PlanID, plan.Cost)
 	}
 
-	// Fetch the plan to execute: on a hit, rebind the cached tree; on an
-	// invocation the environment has already cached the fresh plan. A plan
-	// belonging to another template (a garbled prediction that happens to
-	// resolve) must never execute here — treat it as a miss.
-	entry, ok := s.planByID[res.PlanID]
-	if ok && entry.template != template {
-		ok = false
+	bound, err := s.resolvePlan(st, res, inst, values)
+	if err != nil {
+		return nil, err
 	}
-	var bound *optimizer.Plan
-	if ok {
-		bound, err = s.opt.Recost(st.tmpl.Query, entry.plan, values)
-		if err != nil {
-			// The cached tree is unusable for this template (e.g. a garbled
-			// prediction resolved to another template's plan): treat it as a
-			// miss and re-optimize rather than failing the query.
-			ok = false
-		}
-	}
-	if !ok {
-		// The predicted plan's tree was evicted from the cache (or was
-		// unusable): optimize afresh — a cache miss despite a possibly
-		// correct prediction.
-		t1 := time.Now()
-		plan, oerr := s.opt.OptimizeInstance(inst)
-		if oerr != nil {
-			return nil, &PipelineError{Stage: "optimize", Template: template, Err: oerr}
-		}
-		res.OptimizeTime += time.Since(t1)
-		res.Invoked = true
-		res.CacheHit = false
-		res.PlanID = s.internPlan(template, plan)
-		entry = s.planByID[res.PlanID]
-		// OptimizeInstance binds the plan at these values already.
-		bound = plan
-	}
-	res.Fingerprint = entry.plan.Fingerprint
-	res.EstimatedCost = bound.Cost
-	s.cache.Get(res.PlanID) // refresh the executed plan's recency
 
 	if s.opts.ExecutePlans {
 		t1 := time.Now()
@@ -432,11 +393,140 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 	return res, nil
 }
 
+// decide runs the learner protocol under the template lock and reports
+// whether the run must fall back to degraded (always-invoke-the-optimizer)
+// mode. A learner error is absorbed here: it trips the breaker and degrades
+// this run instead of failing the query.
+func (s *System) decide(st *templateState, res *RunResult, point []float64) (degraded bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.breaker != nil && !st.breaker.Allow() {
+		return true
+	}
+	st.env.lastOptTime = 0
+	t0 := time.Now()
+	decision, lerr := st.online.Step(point)
+	decide := time.Since(t0)
+	if lerr != nil {
+		// Learner-path failure: count it, trip the breaker toward
+		// degraded mode, and fall back to direct optimization for this
+		// run. The learner's state was not corrupted by the failed step.
+		st.learnerErrs++
+		if st.breaker != nil {
+			st.breaker.RecordFailure()
+		}
+		return true
+	}
+	if st.breaker != nil {
+		st.breaker.RecordSuccess()
+		if prec, ok := st.online.Estimator().Precision(); ok {
+			if st.breaker.ObservePrecision(prec, st.online.Estimator().SampleCount()) {
+				// Precision collapse tripped the breaker: drop the
+				// stale window so recovery is judged on fresh
+				// evidence once probes resume.
+				st.online.Estimator().Reset()
+			}
+		}
+	}
+	res.PlanID = decision.Plan
+	res.CacheHit = decision.CacheHit
+	res.Invoked = decision.Invoked
+	res.PredictTime = decide - st.env.lastOptTime
+	if res.PredictTime < 0 {
+		res.PredictTime = 0
+	}
+	res.OptimizeTime = st.env.lastOptTime
+	st.env.lastOptTime = 0
+	return false
+}
+
+// runDegraded serves a run in always-invoke-the-optimizer mode: the same
+// plan (and answer) a system without a plan cache would produce. The
+// optimizer call happens outside all locks; only the retraining insertion
+// re-acquires the template lock.
+func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.Instance, point []float64) error {
+	res.Degraded = true
+	t1 := time.Now()
+	plan, oerr := s.opt.OptimizeInstance(inst)
+	if oerr != nil {
+		return &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
+	}
+	res.OptimizeTime += time.Since(t1)
+	res.Invoked = true
+	res.CacheHit = false
+	res.PlanID = s.internPlan(st, plan)
+	// The validated label still feeds the quarantined learner so it
+	// retrains while degraded. A rejected point (dimensionality mismatch)
+	// is counted rather than silently dropped.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.degradedRuns++
+	if lerr := st.online.LearnValidated(point, res.PlanID, plan.Cost); lerr != nil {
+		st.retrainDrops++
+	}
+	return nil
+}
+
+// resolvePlan fetches the plan to execute: on a hit, rebind the cached
+// tree; on a miss (or a foreign/unusable tree) optimize afresh. Rebinding
+// and optimization run outside all locks — Recost deep-copies the cached
+// tree, so concurrent readers of the same plan are safe.
+func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.Instance, values []float64) (*optimizer.Plan, error) {
+	s.cacheMu.RLock()
+	entry, ok := s.planByID[res.PlanID]
+	s.cacheMu.RUnlock()
+	// A plan belonging to another template (a garbled prediction that
+	// happens to resolve) must never execute here — treat it as a miss.
+	if ok && entry.owner != st {
+		ok = false
+	}
+	var bound *optimizer.Plan
+	if ok {
+		var rerr error
+		bound, rerr = s.opt.Recost(st.tmpl.Query, entry.plan, values)
+		if rerr != nil {
+			// The cached tree is unusable for this template: treat it as a
+			// miss and re-optimize rather than failing the query.
+			ok = false
+		}
+	}
+	if ok {
+		res.Fingerprint = entry.plan.Fingerprint
+	} else {
+		// The predicted plan's tree was evicted from the cache (or was
+		// unusable): optimize afresh — a cache miss despite a possibly
+		// correct prediction.
+		t1 := time.Now()
+		plan, oerr := s.opt.OptimizeInstance(inst)
+		if oerr != nil {
+			return nil, &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
+		}
+		res.OptimizeTime += time.Since(t1)
+		res.Invoked = true
+		res.CacheHit = false
+		res.PlanID = s.internPlan(st, plan)
+		// OptimizeInstance binds the plan at these values already.
+		bound = plan
+		res.Fingerprint = plan.Fingerprint
+	}
+	res.EstimatedCost = bound.Cost
+	s.cacheMu.Lock()
+	s.cache.Get(res.PlanID) // refresh the executed plan's recency
+	s.cacheMu.Unlock()
+	return bound, nil
+}
+
 // internPlan registers a fresh plan in the registry, index and cache, and
-// returns its dense id. Callers hold s.mu.
-func (s *System) internPlan(template string, plan *optimizer.Plan) int {
+// returns its dense id. The registry is internally synchronized; the index
+// and cache update happens under the cache lock. When the insertion evicts
+// another plan, only the cache slot and index entry are reclaimed — the
+// tree itself stays alive for learners still referencing its id, and Run
+// re-optimizes if the plan is predicted again.
+func (s *System) internPlan(st *templateState, plan *optimizer.Plan) int {
 	id := s.reg.ID(plan.Fingerprint)
-	s.planByID[id] = &cachedPlan{template: template, plan: plan}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.planByID[id] = &cachedPlan{owner: st, plan: plan}
 	if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
 		delete(s.planByID, evicted)
 	}
@@ -459,12 +549,12 @@ type Stats struct {
 // TemplateStats reports the online learner's state for one template.
 func (s *System) TemplateStats(template string) (out Stats, err error) {
 	defer capturePanic("ppc.TemplateStats", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.templates[template]
-	if st == nil {
-		return Stats{}, fmt.Errorf("ppc: template %s not registered", template)
+	st, err := s.lookup(template)
+	if err != nil {
+		return Stats{}, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	est := st.online.Estimator()
 	out = Stats{
 		Template:        template,
@@ -491,22 +581,26 @@ type Health struct {
 	// DegradedRuns counts Runs served by invoking the optimizer directly
 	// (breaker open, or a same-run fallback after a learner error).
 	DegradedRuns int
+	// RetrainDrops counts degraded-mode retraining points the learner
+	// rejected (dimensionality mismatch) instead of absorbing.
+	RetrainDrops int
 }
 
 // TemplateHealth reports breaker state and degraded-mode counters for one
 // template.
 func (s *System) TemplateHealth(template string) (h Health, err error) {
 	defer capturePanic("ppc.TemplateHealth", &err)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.templates[template]
-	if st == nil {
-		return Health{}, fmt.Errorf("ppc: template %s not registered", template)
+	st, err := s.lookup(template)
+	if err != nil {
+		return Health{}, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	h = Health{
 		Template:      template,
 		LearnerErrors: st.learnerErrs,
 		DegradedRuns:  st.degradedRuns,
+		RetrainDrops:  st.retrainDrops,
 	}
 	if st.breaker != nil {
 		h.BreakerEnabled = true
@@ -517,37 +611,39 @@ func (s *System) TemplateHealth(template string) (h Health, err error) {
 
 // CacheLen returns the number of plans currently cached.
 func (s *System) CacheLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
 	return s.cache.Len()
 }
 
 // CacheEvictions returns the number of evictions performed so far.
 func (s *System) CacheEvictions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
 	return s.cache.Evictions()
 }
 
 // planPrecision adapts the per-plan sliding-window precision estimates to
-// the cache eviction policy.
+// the cache eviction policy. It is invoked by the cache's eviction scan,
+// i.e. with cacheMu already held; it follows the plan's owner pointer and
+// queries only the internally synchronized estimator, so it never needs the
+// registry or a template lock (which would invert the lock hierarchy).
 func (s *System) planPrecision(planID int) (float64, bool) {
 	entry, ok := s.planByID[planID]
 	if !ok {
 		return 0, false
 	}
-	st := s.templates[entry.template]
-	if st == nil {
-		return 0, false
-	}
-	return st.online.Estimator().PlanPrecision(planID)
+	return entry.owner.online.Estimator().PlanPrecision(planID)
 }
 
 // planEnv adapts the optimizer to the learner's Environment interface for
-// one template. It is called with the System lock held.
+// one template. Its methods are called from Online.Step with the owning
+// template's lock held; they take cacheMu for the shared cache, consistent
+// with the lock hierarchy.
 type planEnv struct {
 	sys         *System
 	tmpl        *optimizer.Template
+	st          *templateState
 	lastOptTime time.Duration
 }
 
@@ -564,22 +660,16 @@ func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 		return 0, 0, err
 	}
 	e.lastOptTime += time.Since(t0)
-	id := e.sys.reg.ID(plan.Fingerprint)
-	e.sys.planByID[id] = &cachedPlan{template: e.tmpl.Name, plan: plan}
-	if evicted := e.sys.cache.Put(id, plan); evicted >= 0 && evicted != id {
-		// Keep the tree for plans still referenced by the learner's
-		// histograms; only the cache slot is reclaimed. The index entry is
-		// dropped so Run re-optimizes if the plan is predicted again.
-		delete(e.sys.planByID, evicted)
-	}
-	return id, plan.Cost, nil
+	return e.sys.internPlan(e.st, plan), plan.Cost, nil
 }
 
 // ExecuteCost implements core.Environment: the execution cost of a given
 // (possibly stale) plan at x, via plan rebinding and recosting.
 func (e *planEnv) ExecuteCost(x []float64, planID int) (float64, error) {
+	e.sys.cacheMu.RLock()
 	entry, ok := e.sys.planByID[planID]
-	if !ok || entry.template != e.tmpl.Name {
+	e.sys.cacheMu.RUnlock()
+	if !ok || entry.owner != e.st {
 		// Plan fell out of the cache, or belongs to another template (a
 		// garbled prediction); behave like a severe cost surprise so the
 		// learner re-optimizes.
