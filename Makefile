@@ -8,11 +8,15 @@ GO ?= go
 BENCH_BASE ?= bench_baseline.json
 BENCH_OUT  ?= BENCH_PR2.json
 
-# The gate: build, vet, and the full test suite under the race detector.
+# The gate: build, vet, the full test suite under the race detector, and the
+# serving-path zero-allocation guard (a separate non-race invocation: the
+# race runtime's bookkeeping inflates allocation counts, so the guard skips
+# itself under -race).
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestServingPathZeroAlloc -count=1 .
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,26 @@
+package ppc_test
+
+// Zero-allocation guard for the serving path. PR 2 made Predict and Insert
+// allocation-free; this PR adds the observability layer on top, whose whole
+// design contract is "no new allocations on the hot path". The guard turns
+// that contract into a failing test instead of a benchmark number someone
+// has to remember to read.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/benchsuite"
+)
+
+func TestServingPathZeroAlloc(t *testing.T) {
+	if benchsuite.RaceEnabled {
+		t.Skip("race detector's shadow memory inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard runs full benchmarks; skipped in -short")
+	}
+	if err := benchsuite.CheckZeroAlloc(os.Stderr, benchsuite.ZeroAllocBenchmarks...); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ppcbench [-scale N] [-seed S] [-frac F] [-list] [experiment ...]
-//	ppcbench -bench [-baseline FILE] [-benchout FILE]
+//	ppcbench -bench [-baseline FILE] [-benchout FILE] [-metrics]
 //	ppcbench -benchcmp OLD.json NEW.json
 //
 // With no experiment arguments it runs the full suite in paper order. Each
@@ -43,6 +43,7 @@ func main() {
 	benchOut := flag.String("benchout", "", "with -bench: write the JSON report to this file (default stdout)")
 	baseline := flag.String("baseline", "", "with -bench: embed this stored report and benchcmp-style deltas")
 	benchCmp := flag.Bool("benchcmp", false, "diff two bench report JSON files: ppcbench -benchcmp OLD NEW")
+	withMetrics := flag.Bool("metrics", false, "with -bench: embed the serving-path metrics snapshot in the report")
 	flag.Parse()
 
 	if *benchCmp {
@@ -61,7 +62,7 @@ func main() {
 		return
 	}
 	if *bench {
-		if err := runBenchSuite(*baseline, *benchOut); err != nil {
+		if err := runBenchSuite(*baseline, *benchOut, *withMetrics); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,12 +110,19 @@ func main() {
 }
 
 // runBenchSuite measures the serving-path suite, optionally folds in a
-// stored baseline report, and writes the JSON report to outPath (stdout
-// when empty).
-func runBenchSuite(baselinePath, outPath string) error {
+// stored baseline report and the serving metrics snapshot, and writes the
+// JSON report to outPath (stdout when empty).
+func runBenchSuite(baselinePath, outPath string, withMetrics bool) error {
 	rep, err := benchsuite.RunSuite(os.Stderr)
 	if err != nil {
 		return err
+	}
+	if withMetrics {
+		if snap, ok := benchsuite.ServingMetrics(); ok {
+			rep.ServingMetrics = snap
+		} else {
+			fmt.Fprintln(os.Stderr, "no serving metrics available (Run benchmarks did not build the shared system)")
+		}
 	}
 	if baselinePath != "" {
 		base, err := benchsuite.ReadReport(baselinePath)

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	ppcdemo [-scale N] [-seed S] [-n QUERIES] [-sigma S] [-templates Q1,Q5]
+//	ppcdemo [-scale N] [-seed S] [-n QUERIES] [-sigma S] [-templates Q1,Q5] [-metrics]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 	n := flag.Int("n", 300, "queries per template")
 	sigma := flag.Float64("sigma", 0.02, "trajectory locality r_d")
 	templates := flag.String("templates", "Q0,Q1,Q2,Q3", "comma-separated template names")
+	withMetrics := flag.Bool("metrics", false, "print the serving-path metrics snapshot as JSON after the workload")
 	flag.Parse()
 
 	sys, err := ppc.Open(ppc.Options{TPCH: tpch.Config{Scale: *scale, Seed: *seed}})
@@ -88,6 +90,18 @@ func main() {
 		}
 	}
 	fmt.Printf("\nplan cache: %d plans cached, %d evictions\n", sys.CacheLen(), sys.CacheEvictions())
+
+	if *withMetrics {
+		snap, err := sys.MetricsSnapshot()
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

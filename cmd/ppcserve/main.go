@@ -1,0 +1,275 @@
+// Command ppcserve exposes a running PPC system over HTTP: the serving-path
+// metrics snapshot, per-template decision traces, learner stats and breaker
+// health, plus expvar and pprof for live inspection. An optional built-in
+// load generator keeps the serving path busy so the endpoints show a live
+// system rather than a cold one.
+//
+// Usage:
+//
+//	ppcserve [-addr :8080] [-scale N] [-seed S] [-templates Q0,Q1,Q2,Q3]
+//	         [-cache N] [-ring N] [-load WORKERS] [-sigma S]
+//
+// Endpoints:
+//
+//	GET /metrics                 MetricsSnapshot as indented JSON (ppc-metrics/v1)
+//	GET /trace?template=Q1       recent decision traces, oldest first
+//	GET /stats?template=Q1       learner stats (omit template for all)
+//	GET /health                  per-template breaker and degraded-mode counters
+//	GET /run?template=Q1&values=0.3,0.4   run one instance at a plan-space point
+//	GET /debug/vars              expvar (includes the metrics snapshot)
+//	GET /debug/pprof/            pprof profiles
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	scale := flag.Int("scale", 1000, "TPC-H scale divisor")
+	seed := flag.Int64("seed", 2012, "database generation seed")
+	templates := flag.String("templates", "Q0,Q1,Q2,Q3", "comma-separated template names to serve")
+	cacheCap := flag.Int("cache", 64, "plan cache capacity")
+	ring := flag.Int("ring", 256, "per-template trace ring size (negative disables)")
+	load := flag.Int("load", 1, "background load-generator workers (0 disables)")
+	sigma := flag.Float64("sigma", 0.02, "load-generator trajectory locality r_d")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "ppcserve: generating database (SF1/%d, seed %d)...\n", *scale, *seed)
+	sys, err := ppc.Open(ppc.Options{
+		TPCH:          tpch.Config{Scale: *scale, Seed: *seed},
+		CacheCapacity: *cacheCap,
+		TraceRingSize: *ring,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.RegisterStandard(); err != nil {
+		fatal(err)
+	}
+	names := splitNames(*templates)
+	for _, name := range names {
+		if _, err := sys.Template(name); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < *load; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			generateLoad(ctx, sys, names[w%len(names)], *sigma, *seed+int64(w))
+		}(w)
+	}
+
+	// expvar: republish the snapshot under a stable key so `GET /debug/vars`
+	// carries the same data as /metrics.
+	expvar.Publish("ppc_metrics", expvar.Func(func() any {
+		snap, err := sys.MetricsSnapshot()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return snap
+	}))
+
+	// The pprof and expvar handlers register on http.DefaultServeMux via
+	// their package init; add ours next to them.
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := sys.MetricsSnapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("template")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing ?template="))
+			return
+		}
+		trace, err := sys.TemplateTrace(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, trace)
+	})
+	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		want := sys.TemplateNames()
+		if name := r.URL.Query().Get("template"); name != "" {
+			want = []string{name}
+		}
+		out := make([]ppc.Stats, 0, len(want))
+		for _, name := range want {
+			st, err := sys.TemplateStats(name)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			out = append(out, st)
+		}
+		writeJSON(w, out)
+	})
+	http.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		names := sys.TemplateNames()
+		out := make([]ppc.Health, 0, len(names))
+		for _, name := range names {
+			h, err := sys.TemplateHealth(name)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			out = append(out, h)
+		}
+		writeJSON(w, out)
+	})
+	http.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("template")
+		point, err := parsePoint(r.URL.Query().Get("values"))
+		if name == "" || err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("need ?template=NAME&values=v1,v2,...: %v", err))
+			return
+		}
+		tmpl, err := sys.Template(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := sys.Run(name, inst.Values)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// The executed rows can be large; report the decision, not the data.
+		rows := 0
+		if res.Result != nil {
+			rows = len(res.Result.Rows)
+		}
+		writeJSON(w, map[string]any{
+			"template":  res.Template,
+			"plan_id":   res.PlanID,
+			"cache_hit": res.CacheHit,
+			"predicted": res.Predicted,
+			"invoked":   res.Invoked,
+			"degraded":  res.Degraded,
+			"rows":      rows,
+		})
+	})
+
+	srv := &http.Server{Addr: *addr}
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "ppcserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "ppcserve: serving %s on %s (load workers: %d)\n",
+		strings.Join(names, ","), *addr, *load)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	wg.Wait()
+}
+
+// generateLoad replays an endless trajectory workload against one template
+// until the context is canceled.
+func generateLoad(ctx context.Context, sys *ppc.System, name string, sigma float64, seed int64) {
+	tmpl, err := sys.Template(name)
+	if err != nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for ctx.Err() == nil {
+		points := workload.MustTrajectories(workload.TrajectoryConfig{
+			Dims: tmpl.Degree(), NumPoints: 256, Sigma: sigma, Seed: rng.Int63(),
+		})
+		for _, p := range points {
+			if ctx.Err() != nil {
+				return
+			}
+			inst, err := sys.Optimizer().InstanceAt(tmpl, p)
+			if err != nil {
+				continue
+			}
+			// Errors (e.g. injected or transient) are visible in /metrics
+			// run_errors; the generator just keeps going.
+			sys.Run(name, inst.Values) //nolint:errcheck
+		}
+	}
+}
+
+// splitNames parses the -templates flag.
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parsePoint parses "0.3,0.4" into a plan-space point.
+func parsePoint(s string) ([]float64, error) {
+	if s == "" {
+		return nil, errors.New("empty values")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppcserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package benchsuite
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// ZeroAllocBenchmarks lists the suite entries that must report 0 allocs/op:
+// the predictor's steady-state serving path, which PR 2 made allocation-free
+// via per-predictor scratch buffers. The guard exists so later layers (the
+// observability registry in particular) can never silently reintroduce
+// allocations — a regression here fails `make tier1`, not a BENCH json
+// archaeology session months later.
+var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "InsertApproxLSHHist"}
+
+// CheckZeroAlloc measures the named suite entries under testing.Benchmark
+// and returns an error naming every entry that allocated. progress may be
+// nil. Run it without the race detector: the race runtime's own bookkeeping
+// shows up in the allocation counters (see RaceEnabled).
+func CheckZeroAlloc(progress io.Writer, names ...string) error {
+	var bad []string
+	for _, name := range names {
+		fn, ok := find(name)
+		if !ok {
+			return fmt.Errorf("benchsuite: unknown benchmark %q", name)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "alloc guard: %s...\n", name)
+		}
+		res, err := Measure(name, fn)
+		if err != nil {
+			return err
+		}
+		if res.AllocsPerOp != 0 {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op (%.0f B/op)",
+				name, res.AllocsPerOp, res.BytesPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchsuite: serving path allocated:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// find resolves a suite entry by name.
+func find(name string) (func(*testing.B), bool) {
+	for _, entry := range Suite {
+		if entry.Name == name {
+			return entry.Fn, true
+		}
+	}
+	return nil, false
+}

@@ -105,6 +105,22 @@ func mustSharedEnv(b *testing.B) *experiments.Env {
 	return predEnv
 }
 
+// ServingMetrics returns the observability snapshot of the shared Run-path
+// System, and false if no Run benchmark has built it yet. Attaching it to a
+// report answers the "what did the workload actually look like" questions a
+// bare ns/op can't — hit rates, degraded runs, breaker trips — for the same
+// process whose latencies the report records.
+func ServingMetrics() (*ppc.MetricsSnapshot, bool) {
+	if runSys == nil {
+		return nil, false
+	}
+	snap, err := runSys.MetricsSnapshot()
+	if err != nil {
+		return nil, false
+	}
+	return &snap, true
+}
+
 // --- End-to-end Run substrate ----------------------------------------------
 
 var (

@@ -1,0 +1,7 @@
+//go:build !race
+
+package benchsuite
+
+// RaceEnabled reports whether this binary was built with the race detector.
+// See race_enabled.go for why the allocation guard checks it.
+const RaceEnabled = false

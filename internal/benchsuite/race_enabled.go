@@ -1,0 +1,9 @@
+//go:build race
+
+package benchsuite
+
+// RaceEnabled reports whether this binary was built with the race detector.
+// The race runtime interposes on every memory access and its shadow-memory
+// bookkeeping shows up in testing.Benchmark's allocation counters, so the
+// zero-allocation guard is only meaningful in a non-race build.
+const RaceEnabled = true

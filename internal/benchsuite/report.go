@@ -7,6 +7,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	ppc "repro"
 )
 
 // Schema identifies the report format; bump on incompatible changes.
@@ -67,6 +69,10 @@ type Report struct {
 	BaselineFile string   `json:"baseline_file,omitempty"`
 	Baseline     []Result `json:"baseline,omitempty"`
 	Deltas       []Delta  `json:"deltas,omitempty"`
+	// ServingMetrics, when requested (ppcbench -metrics), is the
+	// observability snapshot of the System the Run benchmarks exercised.
+	// Optional and additive, so the schema stays ppc-bench/v1.
+	ServingMetrics *ppc.MetricsSnapshot `json:"serving_metrics,omitempty"`
 }
 
 // RunSuite measures every suite entry and assembles a Report.

@@ -159,6 +159,13 @@ type Online struct {
 	// the positive-feedback budget.
 	validated   int
 	selfLabeled int
+	// steps and nulls are lifetime observability counters: steps counts
+	// Step calls that passed validation, nulls the subset whose prediction
+	// was NULL. Unlike the estimator windows they never slide or reset, and
+	// unlike validated/selfLabeled they are not learned state — EncodeState
+	// deliberately omits them (a restarted process starts counting fresh).
+	steps int
+	nulls int
 }
 
 // NewOnline creates an online driver for one template.
@@ -219,6 +226,7 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	if len(x) != o.cfg.Core.Dims {
 		return d, fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
 	}
+	o.steps++
 	pred, costEst, costOK := o.pred.PredictWithCost(x)
 	// Injected learner misprediction: garble the plan choice, simulating a
 	// corrupted synopsis. The safety rails (negative feedback, breaker)
@@ -231,6 +239,7 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	d.Confidence = pred.Confidence
 
 	if !pred.OK {
+		o.nulls++
 		o.est.RecordNull()
 		plan, _, err := o.optimizeAndLearn(x)
 		if err != nil {
@@ -365,6 +374,14 @@ func (o *Online) Estimator() *metrics.TemplateEstimator { return o.est }
 
 // Resets returns how many drift recoveries have occurred.
 func (o *Online) Resets() int { return o.resets }
+
+// Steps returns the lifetime number of Step calls that passed validation
+// (including steps that later failed in the Environment).
+func (o *Online) Steps() int { return o.steps }
+
+// NullPredictions returns the lifetime number of steps whose prediction
+// was NULL (warm-up, low confidence, or noise elimination).
+func (o *Online) NullPredictions() int { return o.nulls }
 
 // SelfLabeled returns how many points entered the histograms through
 // positive feedback (0 unless the extension is enabled).

@@ -113,6 +113,15 @@ func (e *TemplateEstimator) RecordPrediction(plan int, correct bool) {
 
 // Precision returns prec_k[Q]: the estimated precision over the last k
 // NULL-free predictions, and false when no predictions have been made.
+//
+// No-data convention: an empty window means the estimate does not exist,
+// reported as (0, false). This is deliberately the opposite of
+// Counter.Precision's vacuous 1.0 — the estimator feeds operational
+// signals (breaker trips, drift recovery, eviction scoring, metrics
+// snapshots), where a fabricated "perfect" value would mask a template
+// that has never successfully predicted. Callers that need a number for
+// display must branch on ok, as ppc.Stats and ppc.MetricsSnapshot do with
+// their Known flags.
 func (e *TemplateEstimator) Precision() (float64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -204,14 +213,33 @@ func (c *Counter) RecordTruth(ok, correct bool) {
 }
 
 // Precision is correct / NULL-free (Definition 4); 1 when no NULL-free
-// predictions were made (vacuous precision, the convention the paper's
-// plots use for empty cells).
+// predictions were made.
+//
+// No-data convention: the vacuous 1.0 is the convention the paper's plots
+// use for empty cells ("no NULL-free predictions" literally means no
+// prediction was wrong), and the experiment harness relies on it when
+// aggregating sparse sweeps. It is a plotting convention only: operational
+// consumers must not interpret it as evidence of a healthy predictor. Use
+// PrecisionOK where the no-data case has to be distinguished — the serving
+// path's estimator (TemplateEstimator.Precision) makes the same
+// distinction with its ok=false return.
 func (c *Counter) Precision() float64 {
 	nf := c.Correct + c.Incorrect
 	if nf == 0 {
 		return 1
 	}
 	return float64(c.Correct) / float64(nf)
+}
+
+// PrecisionOK is Precision with the no-data case made explicit: ok=false
+// (and value 0) when no NULL-free predictions were recorded, instead of
+// the vacuous 1.0.
+func (c *Counter) PrecisionOK() (float64, bool) {
+	nf := c.Correct + c.Incorrect
+	if nf == 0 {
+		return 0, false
+	}
+	return float64(c.Correct) / float64(nf), true
 }
 
 // Recall is correct / total predictions (Definition 4).

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -136,5 +137,78 @@ func TestCounterDefinitionFour(t *testing.T) {
 	c.Merge(d)
 	if c.Correct != 8 || c.Total() != 11 {
 		t.Errorf("merge: %+v", c)
+	}
+}
+
+// TestWindowProperty drives a Window through a random Add/Reset schedule and
+// checks it against a shadow slice at every step.
+func TestWindowProperty(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 32} {
+		w := NewWindow(k)
+		var shadow []bool
+		rng := rand.New(rand.NewSource(int64(k)))
+		for step := 0; step < 2000; step++ {
+			switch {
+			case rng.Intn(50) == 0:
+				w.Reset()
+				shadow = shadow[:0]
+			default:
+				v := rng.Intn(2) == 0
+				w.Add(v)
+				shadow = append(shadow, v)
+				if len(shadow) > k {
+					shadow = shadow[1:]
+				}
+			}
+			if w.Len() != len(shadow) {
+				t.Fatalf("k=%d step=%d: Len = %d, shadow %d", k, step, w.Len(), len(shadow))
+			}
+			trues := 0
+			for _, v := range shadow {
+				if v {
+					trues++
+				}
+			}
+			r, ok := w.Rate()
+			if ok != (len(shadow) > 0) {
+				t.Fatalf("k=%d step=%d: ok = %v with %d samples", k, step, ok, len(shadow))
+			}
+			if ok {
+				want := float64(trues) / float64(len(shadow))
+				if math.Abs(r-want) > 1e-12 {
+					t.Fatalf("k=%d step=%d: rate = %f, want %f", k, step, r, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecisionConventions pins the two no-data conventions against each
+// other: Counter reports the vacuous 1.0 (paper plots), PrecisionOK and the
+// estimator report "does not exist".
+func TestPrecisionConventions(t *testing.T) {
+	var c Counter
+	if c.Precision() != 1 {
+		t.Errorf("empty Counter.Precision = %f, want vacuous 1", c.Precision())
+	}
+	if v, ok := c.PrecisionOK(); ok || v != 0 {
+		t.Errorf("empty Counter.PrecisionOK = %f,%v, want 0,false", v, ok)
+	}
+	if _, ok := NewTemplateEstimator(4).Precision(); ok {
+		t.Error("empty estimator must report no precision")
+	}
+	c.RecordTruth(true, true)
+	c.RecordTruth(true, false)
+	if v, ok := c.PrecisionOK(); !ok || v != 0.5 {
+		t.Errorf("PrecisionOK = %f,%v, want 0.5,true", v, ok)
+	}
+	if c.Precision() != 0.5 {
+		t.Errorf("Precision = %f, want 0.5", c.Precision())
+	}
+	// NULL-only data: still no NULL-free predictions, so no precision.
+	var n Counter
+	n.RecordTruth(false, false)
+	if _, ok := n.PrecisionOK(); ok {
+		t.Error("NULL-only Counter must report no precision")
 	}
 }

@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of a latency histogram. Bucket 0
+// holds sub-microsecond durations; bucket i (0 < i < histBuckets-1) holds
+// durations whose microsecond value lies in [2^(i-1), 2^i); the last bucket
+// is the unbounded overflow. 2^24 µs ≈ 16.8 s, far beyond any serving-path
+// stage, so the overflow bucket stays empty in healthy operation.
+const histBuckets = 26
+
+// Hist is a bounded, allocation-free latency histogram with exponential
+// (power-of-two microsecond) buckets. All fields are atomics, so Record may
+// be called from any goroutine, under any lock, without synchronization —
+// it is part of the obsv leaf of the serving path's lock hierarchy.
+//
+// The zero value is ready to use.
+type Hist struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	us := uint64(ns) / 1000
+	i := bits.Len64(us)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperMicros is the exclusive upper bound of bucket i in
+// microseconds; 0 marks the unbounded overflow bucket.
+func BucketUpperMicros(i int) uint64 {
+	if i >= histBuckets-1 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// Record adds one observation. Negative durations are clamped to zero.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(uint64(ns))
+	for {
+		cur := h.maxNs.Load()
+		if uint64(ns) <= cur || h.maxNs.CompareAndSwap(cur, uint64(ns)) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	// UpperMicros is the bucket's exclusive upper bound in microseconds;
+	// 0 marks the unbounded overflow bucket.
+	UpperMicros uint64 `json:"upper_us"`
+	Count       uint64 `json:"count"`
+}
+
+// HistSnapshot is a JSON-serializable copy of a histogram. Only non-empty
+// buckets are materialized, in ascending bound order. Counters are read
+// individually (not under a lock), so a snapshot taken while writers are
+// active may be off by the few in-flight observations; every field is
+// monotone across snapshots.
+type HistSnapshot struct {
+	Count    uint64       `json:"count"`
+	SumNanos uint64       `json:"sum_ns"`
+	MaxNanos uint64       `json:"max_ns"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sumNs.Load(),
+		MaxNanos: h.maxNs.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperMicros: BucketUpperMicros(i), Count: n})
+		}
+	}
+	return s
+}
+
+// MeanNanos is the mean observed duration in nanoseconds (0 when empty).
+func (s HistSnapshot) MeanNanos() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNanos) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from the
+// bucket boundaries: the bound of the first bucket at which the cumulative
+// count reaches q·Count. The overflow bucket reports the observed maximum.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// The q-quantile of n observations is the ceil(q·n)-th smallest.
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			if b.UpperMicros == 0 {
+				return time.Duration(s.MaxNanos)
+			}
+			return time.Duration(b.UpperMicros) * time.Microsecond
+		}
+	}
+	return time.Duration(s.MaxNanos)
+}

@@ -1,0 +1,301 @@
+// Package obsv is the serving path's observability layer: an atomic,
+// allocation-conscious metrics registry (per-template counters and bounded
+// latency histograms), per-template rings of recent decision traces, and
+// the JSON-serializable snapshot types the facade and cmd/ppcserve export.
+//
+// The paper's online framework (Section IV-E) is driven entirely by
+// feedback signals — sliding-window precision/recall, negative feedback,
+// drift recovery, and (in this runtime) circuit-breaker state. This
+// package makes those signals continuously observable instead of
+// poll-only: every counter and histogram is updated with a single atomic
+// operation, so instrumentation may run under any serving-path lock
+// without extending hold times, and never allocates.
+//
+// Lock-hierarchy position (DESIGN.md §9): obsv is a leaf. Counters and
+// histograms are lock-free atomics; the trace ring's mutex guards only
+// plain-memory copies into a preallocated buffer and calls nothing. No
+// obsv operation acquires — or can wait on — any other lock in the
+// system, so it is safe to update from code holding regMu, a template
+// lock, or cacheMu.
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Registry is the process-wide metrics registry: one TemplateObs per
+// registered template plus the shared plan cache's counters. Template
+// registration is rare; the hot path holds a *TemplateObs directly and
+// never goes through the registry map.
+type Registry struct {
+	mu        sync.RWMutex
+	templates map[string]*TemplateObs
+	ringSize  int
+	cache     CacheObs
+}
+
+// NewRegistry creates a registry whose templates keep the last ringSize
+// trace records each (ringSize <= 0 disables tracing).
+func NewRegistry(ringSize int) *Registry {
+	return &Registry{templates: make(map[string]*TemplateObs), ringSize: ringSize}
+}
+
+// Template returns the named template's metrics, creating them on first
+// use. Re-registering a template (e.g. a snapshot restore) keeps the
+// existing counters: they describe this process's serving history.
+func (r *Registry) Template(name string) *TemplateObs {
+	r.mu.RLock()
+	t := r.templates[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.templates[name]; t == nil {
+		t = &TemplateObs{name: name, ring: NewTraceRing(r.ringSize)}
+		r.templates[name] = t
+	}
+	return t
+}
+
+// TemplateNames returns the known template names, sorted.
+func (r *Registry) TemplateNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.templates))
+	for n := range r.templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cache returns the shared plan cache's counters.
+func (r *Registry) Cache() *CacheObs { return &r.cache }
+
+// CacheObs counts shared-plan-cache traffic at the serving level: a hit is
+// a plan-tree resolution served from the cached tree, a miss is a
+// re-optimization because the tree was evicted, foreign or unusable. (The
+// learner-level cache_hits counter on TemplateObs is stricter: it also
+// requires that the optimizer was bypassed.)
+type CacheObs struct {
+	hits, misses, puts, evictions atomic.Uint64
+}
+
+// CountHit records a plan resolution served from the cache.
+func (c *CacheObs) CountHit() { c.hits.Add(1) }
+
+// CountMiss records a plan resolution that had to re-optimize.
+func (c *CacheObs) CountMiss() { c.misses.Add(1) }
+
+// CountPut records a plan insertion.
+func (c *CacheObs) CountPut() { c.puts.Add(1) }
+
+// CountEviction records an eviction caused by an insertion.
+func (c *CacheObs) CountEviction() { c.evictions.Add(1) }
+
+// CacheSnapshot is the JSON form of the cache counters.
+type CacheSnapshot struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Snapshot copies the cache counters.
+func (c *CacheObs) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// TemplateObs holds one template's serving-path metrics: counters for
+// every decision outcome, latency histograms for the predict, optimize,
+// execute and degraded stages, and the ring of recent traces. All counter
+// updates are single atomic adds.
+type TemplateObs struct {
+	name string
+
+	runs                atomic.Uint64
+	runErrors           atomic.Uint64
+	cacheHits           atomic.Uint64
+	predicted           atomic.Uint64
+	nullPredictions     atomic.Uint64
+	invocations         atomic.Uint64
+	randomInvocations   atomic.Uint64
+	feedbackCorrections atomic.Uint64
+	driftResets         atomic.Uint64
+	degradedRuns        atomic.Uint64
+	degradedByError     atomic.Uint64
+	learnerErrors       atomic.Uint64
+	retrainDrops        atomic.Uint64
+	breakerOpens        atomic.Uint64
+	breakerHalfOpens    atomic.Uint64
+	breakerRecloses     atomic.Uint64
+
+	predict  Hist
+	optimize Hist
+	execute  Hist
+	degraded Hist
+
+	ring *TraceRing
+}
+
+// Name returns the template name.
+func (t *TemplateObs) Name() string { return t.name }
+
+// Observe ingests one completed run: it assigns the record's sequence
+// number, updates every counter and histogram the record implies, and
+// appends the record to the trace ring. The caller passes a stack-built
+// record; Observe copies it and retains nothing.
+func (t *TemplateObs) Observe(rec *TraceRecord) {
+	rec.Seq = t.runs.Add(1)
+	if rec.CacheHit {
+		t.cacheHits.Add(1)
+	}
+	if rec.Predicted {
+		t.predicted.Add(1)
+	} else if !rec.Degraded {
+		t.nullPredictions.Add(1)
+	}
+	if rec.Invoked {
+		t.invocations.Add(1)
+		t.optimize.Record(time.Duration(rec.OptimizeNs))
+	}
+	if rec.RandomInvocation {
+		t.randomInvocations.Add(1)
+	}
+	if rec.FeedbackCorrection {
+		t.feedbackCorrections.Add(1)
+	}
+	if rec.DriftReset {
+		t.driftResets.Add(1)
+	}
+	if rec.Degraded {
+		t.degradedRuns.Add(1)
+		// Degraded-path service time: decide + direct optimize + execute.
+		t.degraded.Record(time.Duration(rec.PredictNs + rec.OptimizeNs + rec.ExecuteNs))
+	}
+	if rec.DegradedByError {
+		t.degradedByError.Add(1)
+	}
+	// The predict histogram covers runs where the learner actually decided:
+	// everything except breaker-open degraded runs (which bypass it).
+	if !rec.Degraded || rec.DegradedByError {
+		t.predict.Record(time.Duration(rec.PredictNs))
+	}
+	if rec.Executed {
+		t.execute.Record(time.Duration(rec.ExecuteNs))
+	}
+	t.ring.Append(rec)
+}
+
+// CountRunError records a Run that returned an error after template
+// resolution (recovered panics are not counted — they bypass the serving
+// path's accounting entirely).
+func (t *TemplateObs) CountRunError() { t.runErrors.Add(1) }
+
+// CountLearnerError records a learner-path Step failure.
+func (t *TemplateObs) CountLearnerError() { t.learnerErrors.Add(1) }
+
+// CountRetrainDrop records a degraded-mode retraining point the learner
+// rejected.
+func (t *TemplateObs) CountRetrainDrop() { t.retrainDrops.Add(1) }
+
+// BreakerTransition counts a circuit breaker state edge; a no-op when the
+// state did not change.
+func (t *TemplateObs) BreakerTransition(prev, cur metrics.BreakerState) {
+	if prev == cur {
+		return
+	}
+	switch cur {
+	case metrics.BreakerOpen:
+		t.breakerOpens.Add(1)
+	case metrics.BreakerHalfOpen:
+		t.breakerHalfOpens.Add(1)
+	case metrics.BreakerClosed:
+		t.breakerRecloses.Add(1)
+	}
+}
+
+// Trace returns the template's recent trace records, oldest first (nil
+// when tracing is disabled).
+func (t *TemplateObs) Trace() []TraceRecord { return t.ring.Snapshot() }
+
+// CounterSnapshot is the JSON form of a template's counters.
+type CounterSnapshot struct {
+	// Runs counts completed (successful) Runs; RunErrors counts Runs that
+	// returned a typed error after template resolution.
+	Runs      uint64 `json:"runs"`
+	RunErrors uint64 `json:"run_errors"`
+	// CacheHits counts runs served from the cache without optimizing.
+	CacheHits uint64 `json:"cache_hits"`
+	// Predicted / NullPredictions split the learner's non-degraded
+	// decisions by whether a NULL-free prediction was emitted.
+	Predicted       uint64 `json:"predicted"`
+	NullPredictions uint64 `json:"null_predictions"`
+	// OptimizerInvocations counts runs where the optimizer ran, with the
+	// Section IV-D/E causes broken out.
+	OptimizerInvocations uint64 `json:"optimizer_invocations"`
+	RandomInvocations    uint64 `json:"random_invocations"`
+	FeedbackCorrections  uint64 `json:"feedback_corrections"`
+	DriftResets          uint64 `json:"drift_resets"`
+	// DegradedRuns counts always-invoke-the-optimizer runs; DegradedByError
+	// is the subset forced by a same-run learner error.
+	DegradedRuns    uint64 `json:"degraded_runs"`
+	DegradedByError uint64 `json:"degraded_by_error"`
+	LearnerErrors   uint64 `json:"learner_errors"`
+	RetrainDrops    uint64 `json:"retrain_drops"`
+	// Breaker state transition counts by destination state.
+	BreakerOpens     uint64 `json:"breaker_opens"`
+	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
+	BreakerRecloses  uint64 `json:"breaker_recloses"`
+}
+
+// TemplateSnapshot is the JSON form of one template's metrics.
+type TemplateSnapshot struct {
+	Template        string          `json:"template"`
+	Counters        CounterSnapshot `json:"counters"`
+	PredictLatency  HistSnapshot    `json:"predict_latency"`
+	OptimizeLatency HistSnapshot    `json:"optimize_latency"`
+	ExecuteLatency  HistSnapshot    `json:"execute_latency"`
+	DegradedLatency HistSnapshot    `json:"degraded_latency"`
+}
+
+// Snapshot copies the template's counters and histograms.
+func (t *TemplateObs) Snapshot() TemplateSnapshot {
+	return TemplateSnapshot{
+		Template: t.name,
+		Counters: CounterSnapshot{
+			Runs:                 t.runs.Load(),
+			RunErrors:            t.runErrors.Load(),
+			CacheHits:            t.cacheHits.Load(),
+			Predicted:            t.predicted.Load(),
+			NullPredictions:      t.nullPredictions.Load(),
+			OptimizerInvocations: t.invocations.Load(),
+			RandomInvocations:    t.randomInvocations.Load(),
+			FeedbackCorrections:  t.feedbackCorrections.Load(),
+			DriftResets:          t.driftResets.Load(),
+			DegradedRuns:         t.degradedRuns.Load(),
+			DegradedByError:      t.degradedByError.Load(),
+			LearnerErrors:        t.learnerErrors.Load(),
+			RetrainDrops:         t.retrainDrops.Load(),
+			BreakerOpens:         t.breakerOpens.Load(),
+			BreakerHalfOpens:     t.breakerHalfOpens.Load(),
+			BreakerRecloses:      t.breakerRecloses.Load(),
+		},
+		PredictLatency:  t.predict.Snapshot(),
+		OptimizeLatency: t.optimize.Snapshot(),
+		ExecuteLatency:  t.execute.Snapshot(),
+		DegradedLatency: t.degraded.Snapshot(),
+	}
+}

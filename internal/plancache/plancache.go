@@ -35,6 +35,9 @@ type Cache struct {
 	entries   map[int]*list.Element // planID -> element in lru
 	lru       *list.List            // front = most recently used
 	precision PrecisionFunc
+	hits      int
+	misses    int
+	puts      int
 	evictions int
 }
 
@@ -61,16 +64,36 @@ func MustNew(capacity int, precision PrecisionFunc) *Cache {
 	return c
 }
 
-// Get returns the cached plan and marks it recently used.
+// Get returns the cached plan and marks it recently used. A lookup of an
+// absent plan counts as a cache miss; callers that merely want to refresh
+// recency when (and only when) the plan is still cached should use Touch,
+// which never skews the miss statistics.
 func (c *Cache) Get(planID int) (*Entry, bool) {
 	el, ok := c.entries[planID]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.lru.MoveToFront(el)
 	e := el.Value.(*Entry)
 	e.Hits++
 	return e, true
+}
+
+// Touch refreshes a plan's recency (counting a hit) if it is cached, and
+// reports whether it was. Unlike Get, touching an absent plan — e.g. one a
+// concurrent insertion evicted moments ago — is a no-op that records
+// neither a hit nor a miss.
+func (c *Cache) Touch(planID int) bool {
+	el, ok := c.entries[planID]
+	if !ok {
+		return false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	el.Value.(*Entry).Hits++
+	return true
 }
 
 // Contains reports presence without touching recency.
@@ -82,6 +105,7 @@ func (c *Cache) Contains(planID int) bool {
 // Put inserts (or refreshes) a plan, evicting if necessary. It returns the
 // evicted plan identifier, or -1.
 func (c *Cache) Put(planID int, plan any) int {
+	c.puts++
 	if el, ok := c.entries[planID]; ok {
 		el.Value.(*Entry).Plan = plan
 		c.lru.MoveToFront(el)
@@ -131,6 +155,30 @@ func (c *Cache) evict() int {
 
 // Len returns the number of cached plans.
 func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats is a copyable view of the cache's occupancy and traffic counters.
+// The counters are lifetime totals: Clear empties the cache but does not
+// rewind history.
+type Stats struct {
+	Len       int `json:"len"`
+	Capacity  int `json:"capacity"`
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Puts      int `json:"puts"`
+	Evictions int `json:"evictions"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Len:       c.lru.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+	}
+}
 
 // Capacity returns the configured bound.
 func (c *Cache) Capacity() int { return c.capacity }

@@ -120,3 +120,59 @@ func TestCapacityNeverExceeded(t *testing.T) {
 		t.Errorf("Evictions = %d, want 97", c.Evictions())
 	}
 }
+
+func TestTouchSemantics(t *testing.T) {
+	c := MustNew(2, nil)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if !c.Touch(1) {
+		t.Fatal("Touch(1) on a cached plan must succeed")
+	}
+	// 1 is now most recent: inserting 3 must evict 2, not 1.
+	c.Put(3, "c")
+	if !c.Contains(1) || c.Contains(2) {
+		t.Errorf("after touch+insert: contains(1)=%v contains(2)=%v", c.Contains(1), c.Contains(2))
+	}
+	st := c.Stats()
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (from Touch)", st.Hits)
+	}
+	// Touching an absent plan is a no-op: no hit, no miss.
+	if c.Touch(99) {
+		t.Error("Touch of absent plan must report false")
+	}
+	after := c.Stats()
+	if after.Hits != st.Hits || after.Misses != st.Misses {
+		t.Errorf("absent Touch changed counters: %+v -> %+v", st, after)
+	}
+	// Get of an absent plan does count a miss — the contrast with Touch.
+	if _, ok := c.Get(99); ok {
+		t.Fatal("Get(99) should miss")
+	}
+	if c.Stats().Misses != after.Misses+1 {
+		t.Error("Get of absent plan must count a miss")
+	}
+}
+
+func TestStatsLifetimeCounters(t *testing.T) {
+	c := MustNew(2, nil)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Get(1)
+	c.Get(7) // miss
+	c.Put(3, "c") // evicts
+	st := c.Stats()
+	want := Stats{Len: 2, Capacity: 2, Hits: 1, Misses: 1, Puts: 3, Evictions: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// Clear empties occupancy but preserves history.
+	c.Clear()
+	st = c.Stats()
+	if st.Len != 0 {
+		t.Errorf("after clear: len = %d", st.Len)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 3 || st.Evictions != 1 {
+		t.Errorf("clear rewound lifetime counters: %+v", st)
+	}
+}

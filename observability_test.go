@@ -1,0 +1,448 @@
+package ppc
+
+// Integration tests for the observability layer: the metrics snapshot must
+// agree exactly with the RunResult ground truth the same workload produced,
+// and the latency accounting on each RunResult must obey its invariants.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obsv"
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+// sqlFor returns the SQL of one standard query template.
+func sqlFor(t *testing.T, name string) string {
+	t.Helper()
+	for _, d := range queries.Defs {
+		if d.Name == name {
+			return d.SQL
+		}
+	}
+	t.Fatalf("no standard query %s", name)
+	return ""
+}
+
+// runTally accumulates RunResult ground truth for comparison against a
+// CounterSnapshot.
+type runTally struct {
+	runs, cacheHits, predicted, nulls       uint64
+	invoked, random, feedback, drift        uint64
+	degraded, degradedByError               uint64
+	predictObs, executed                    uint64
+	last                                    *RunResult
+}
+
+func (c *runTally) add(res *RunResult) {
+	c.runs++
+	if res.CacheHit {
+		c.cacheHits++
+	}
+	if res.Predicted {
+		c.predicted++
+	} else if !res.Degraded {
+		c.nulls++
+	}
+	if res.Invoked {
+		c.invoked++
+	}
+	if res.RandomInvocation {
+		c.random++
+	}
+	if res.FeedbackCorrection {
+		c.feedback++
+	}
+	if res.DriftReset {
+		c.drift++
+	}
+	if res.Degraded {
+		c.degraded++
+	}
+	if res.DegradedByError {
+		c.degradedByError++
+	}
+	if !res.Degraded || res.DegradedByError {
+		c.predictObs++
+	}
+	if res.Result != nil {
+		c.executed++
+	}
+	c.last = res
+}
+
+// drive runs n instances of the template in a drifting selectivity
+// neighborhood and tallies the results.
+func drive(t *testing.T, sys *System, name string, n int, seed int64) *runTally {
+	t.Helper()
+	tmpl, err := sys.Template(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tally := &runTally{}
+	for i := 0; i < n; i++ {
+		point := make([]float64, tmpl.Degree())
+		center := 0.2 + 0.5*float64(i)/float64(n)
+		for d := range point {
+			point[d] = center + rng.Float64()*0.05
+		}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(name, inst.Values)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		tally.add(res)
+	}
+	return tally
+}
+
+func TestMetricsSnapshotMatchesRunResults(t *testing.T) {
+	sys := openSmall(t)
+	for _, name := range []string{"Q0", "Q1"} {
+		if err := sys.Register(name, sqlFor(t, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tallies := map[string]*runTally{
+		"Q0": drive(t, sys, "Q0", 200, 7),
+		"Q1": drive(t, sys, "Q1", 200, 8),
+	}
+
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != MetricsSnapshotSchema {
+		t.Fatalf("schema = %q, want %q", snap.Schema, MetricsSnapshotSchema)
+	}
+	if len(snap.Templates) != 2 {
+		t.Fatalf("templates in snapshot = %d, want 2", len(snap.Templates))
+	}
+
+	var totalRuns uint64
+	for _, tm := range snap.Templates {
+		tally := tallies[tm.Template]
+		if tally == nil {
+			t.Fatalf("unexpected template %q in snapshot", tm.Template)
+		}
+		totalRuns += tally.runs
+		c := tm.Counters
+		checks := []struct {
+			name string
+			got  uint64
+			want uint64
+		}{
+			{"runs", c.Runs, tally.runs},
+			{"run_errors", c.RunErrors, 0},
+			{"cache_hits", c.CacheHits, tally.cacheHits},
+			{"predicted", c.Predicted, tally.predicted},
+			{"null_predictions", c.NullPredictions, tally.nulls},
+			{"optimizer_invocations", c.OptimizerInvocations, tally.invoked},
+			{"random_invocations", c.RandomInvocations, tally.random},
+			{"feedback_corrections", c.FeedbackCorrections, tally.feedback},
+			{"drift_resets", c.DriftResets, tally.drift},
+			{"degraded_runs", c.DegradedRuns, tally.degraded},
+			{"degraded_by_error", c.DegradedByError, tally.degradedByError},
+			{"predict_latency.count", tm.PredictLatency.Count, tally.predictObs},
+			{"optimize_latency.count", tm.OptimizeLatency.Count, tally.invoked},
+			{"execute_latency.count", tm.ExecuteLatency.Count, tally.executed},
+			{"degraded_latency.count", tm.DegradedLatency.Count, tally.degraded},
+		}
+		for _, ck := range checks {
+			if ck.got != ck.want {
+				t.Errorf("%s: %s = %d, want %d", tm.Template, ck.name, ck.got, ck.want)
+			}
+		}
+		// The workload exercises the interesting paths; a snapshot full of
+		// zeros would vacuously pass the equalities above.
+		if tally.cacheHits == 0 || tally.invoked == 0 {
+			t.Errorf("%s: degenerate workload (hits=%d invoked=%d)", tm.Template, tally.cacheHits, tally.invoked)
+		}
+		// Learner lifetime counters: every non-degraded run is one learner
+		// step, and the NULL split must match the registry's.
+		if got, want := uint64(tm.Learner.Steps), tally.runs-tally.degraded+tally.degradedByError; got != want {
+			t.Errorf("%s: learner steps = %d, want %d", tm.Template, got, want)
+		}
+		if got := uint64(tm.Learner.NullPredictions); got != tally.nulls {
+			t.Errorf("%s: learner null_predictions = %d, want %d", tm.Template, got, tally.nulls)
+		}
+	}
+
+	// Every successful Run resolves its plan exactly once: serving-level
+	// cache hits and misses must partition the runs.
+	if got := snap.Cache.Hits + snap.Cache.Misses; got != totalRuns {
+		t.Errorf("cache hits+misses = %d, want %d", got, totalRuns)
+	}
+	if got, want := snap.Cache.Evictions, uint64(sys.CacheEvictions()); got != want {
+		t.Errorf("cache evictions = %d, want %d", got, want)
+	}
+	if snap.Cache.Capacity == 0 || snap.Cache.Len == 0 {
+		t.Errorf("cache occupancy not reported: %+v", snap.Cache)
+	}
+
+	// The snapshot must round-trip through JSON (it is the /metrics payload).
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != snap.Schema || len(back.Templates) != len(snap.Templates) {
+		t.Errorf("JSON round-trip lost data: %s", data)
+	}
+
+	// Trace ring: default size 64, oldest-first, sequence numbers dense and
+	// ending at the last run.
+	for name, tally := range tallies {
+		trace, err := sys.TemplateTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) != 64 {
+			t.Fatalf("%s: trace length = %d, want 64", name, len(trace))
+		}
+		for i := 1; i < len(trace); i++ {
+			if trace[i].Seq != trace[i-1].Seq+1 {
+				t.Fatalf("%s: non-consecutive seq at %d: %d after %d", name, i, trace[i].Seq, trace[i-1].Seq)
+			}
+		}
+		last := trace[len(trace)-1]
+		res := tally.last
+		if last.Seq != tally.runs {
+			t.Errorf("%s: last trace seq = %d, want %d", name, last.Seq, tally.runs)
+		}
+		if last.PlanID != res.PlanID || last.CacheHit != res.CacheHit ||
+			last.Invoked != res.Invoked || last.Predicted != res.Predicted ||
+			last.Fingerprint != res.Fingerprint {
+			t.Errorf("%s: last trace %+v does not match last result %+v", name, last, res)
+		}
+		if last.PredictNs != res.PredictTime.Nanoseconds() ||
+			last.OptimizeNs != res.OptimizeTime.Nanoseconds() ||
+			last.ExecuteNs != res.ExecuteTime.Nanoseconds() {
+			t.Errorf("%s: last trace timings do not match result", name)
+		}
+		vals := last.ValuesSlice()
+		if len(vals) != len(res.Values) {
+			t.Fatalf("%s: trace values length %d, want %d", name, len(vals), len(res.Values))
+		}
+		for i := range vals {
+			if vals[i] != res.Values[i] {
+				t.Errorf("%s: trace values %v != result values %v", name, vals, res.Values)
+				break
+			}
+		}
+	}
+}
+
+func TestRunLatencyAccounting(t *testing.T) {
+	sys := openSmall(t)
+	if err := sys.Register("Q1", sqlFor(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 120; i++ {
+		point := []float64{0.3 + rng.Float64()*0.1, 0.3 + rng.Float64()*0.1}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		res, err := sys.Run("Q1", inst.Values)
+		wall := time.Since(t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accounted := res.PredictTime + res.OptimizeTime + res.ExecuteTime
+		if accounted > wall {
+			t.Fatalf("run %d: accounted %v exceeds wall %v (%+v)", i, accounted, wall, res)
+		}
+		if res.PredictTime < 0 || res.OptimizeTime < 0 || res.ExecuteTime < 0 {
+			t.Fatalf("run %d: negative stage time (%+v)", i, res)
+		}
+		if res.Invoked && res.OptimizeTime <= 0 {
+			t.Fatalf("run %d: optimizer invoked but OptimizeTime = %v", i, res.OptimizeTime)
+		}
+		if !res.Invoked && res.OptimizeTime != 0 {
+			t.Fatalf("run %d: optimizer not invoked but OptimizeTime = %v", i, res.OptimizeTime)
+		}
+		if res.Result != nil && res.ExecuteTime <= 0 {
+			t.Fatalf("run %d: executed but ExecuteTime = %v", i, res.ExecuteTime)
+		}
+	}
+}
+
+// TestErrorDegradeAccounting pins the decide() error-branch fix: a run
+// degraded by a same-run learner error must still carry the time spent in
+// the failed learner step, and the registry's learner-error counters must
+// agree with TemplateHealth.
+func TestErrorDegradeAccounting(t *testing.T) {
+	inj := faults.New(42).Enable(faults.OptimizerError, 0.5)
+	sys, err := Open(Options{
+		TPCH:           tpch.Config{Scale: 1000, Seed: 5},
+		Online:         onlineForTest(),
+		DisableBreaker: true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("Q1", sqlFor(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(9))
+
+	var byError, failed uint64
+	sawSpentTime := false
+	for i := 0; i < 80; i++ {
+		point := []float64{0.3 + rng.Float64()*0.2, 0.3 + rng.Float64()*0.2}
+		inst, ierr := sys.Optimizer().InstanceAt(tmpl, point)
+		if ierr != nil {
+			t.Fatal(ierr)
+		}
+		res, rerr := sys.Run("Q1", inst.Values)
+		if rerr != nil {
+			// The degraded fallback's own optimizer call hit the fault.
+			failed++
+			continue
+		}
+		if res.DegradedByError {
+			byError++
+			if !res.Degraded {
+				t.Fatalf("run %d: DegradedByError without Degraded", i)
+			}
+			if !res.Invoked || res.OptimizeTime <= 0 {
+				t.Fatalf("run %d: degraded run must invoke the optimizer (%+v)", i, res)
+			}
+			if res.PredictTime > 0 {
+				sawSpentTime = true
+			}
+		}
+	}
+	if byError == 0 {
+		t.Fatal("fault injection produced no degraded-by-error runs")
+	}
+	if !sawSpentTime {
+		t.Error("no degraded-by-error run carried its failed learner step's time in PredictTime")
+	}
+
+	h, err := sys.TemplateHealth("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := snap.Templates[0].Counters
+	if got, want := c.LearnerErrors, uint64(h.LearnerErrors); got != want {
+		t.Errorf("snapshot learner_errors = %d, health says %d", got, want)
+	}
+	if c.LearnerErrors < c.DegradedByError {
+		t.Errorf("learner_errors %d < degraded_by_error %d", c.LearnerErrors, c.DegradedByError)
+	}
+	if got := c.DegradedByError; got != byError {
+		t.Errorf("snapshot degraded_by_error = %d, ground truth %d", got, byError)
+	}
+	if got := c.RunErrors; got != failed {
+		t.Errorf("snapshot run_errors = %d, ground truth %d", got, failed)
+	}
+}
+
+func TestTraceHookAndRingOptions(t *testing.T) {
+	var hooked int
+	var lastSeq uint64
+	sys, err := Open(Options{
+		TPCH:          tpch.Config{Scale: 1000, Seed: 5},
+		Online:        onlineForTest(),
+		TraceRingSize: 8,
+		TraceHook: func(rec obsv.TraceRecord) {
+			hooked++
+			lastSeq = rec.Seq
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("Q1", sqlFor(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q1")
+	rng := rand.New(rand.NewSource(4))
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		point := []float64{0.4 + rng.Float64()*0.05, 0.4 + rng.Float64()*0.05}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run("Q1", inst.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hooked != runs {
+		t.Errorf("trace hook fired %d times, want %d", hooked, runs)
+	}
+	if lastSeq != runs {
+		t.Errorf("last hook seq = %d, want %d", lastSeq, runs)
+	}
+	trace, err := sys.TemplateTrace("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 8 {
+		t.Errorf("custom ring size: trace length = %d, want 8", len(trace))
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	sys, err := Open(Options{
+		TPCH:          tpch.Config{Scale: 1000, Seed: 5},
+		Online:        onlineForTest(),
+		TraceRingSize: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("Q0", sqlFor(t, "Q0")); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := sys.Template("Q0")
+	point := make([]float64, tmpl.Degree())
+	for i := range point {
+		point[i] = 0.5
+	}
+	inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("Q0", inst.Values); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sys.TemplateTrace("Q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != nil {
+		t.Errorf("tracing disabled but trace = %v", trace)
+	}
+	// Counters still work with tracing off.
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Templates[0].Counters.Runs != 1 {
+		t.Errorf("runs = %d, want 1", snap.Templates[0].Counters.Runs)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/queries"
@@ -74,6 +75,16 @@ type Options struct {
 	// executor, learner and snapshot writer (chaos testing). nil disables
 	// injection.
 	Faults *faults.Injector
+	// TraceRingSize bounds the per-template ring of recent decision traces
+	// (default 64; negative disables tracing). The ring is preallocated and
+	// appends are plain-memory copies, so tracing never allocates on the
+	// serving path.
+	TraceRingSize int
+	// TraceHook, when non-nil, receives a copy of every completed Run's
+	// trace record, after the run finishes and outside all locks. It runs
+	// synchronously on the serving goroutine: keep it fast and do not call
+	// back into the System from it.
+	TraceHook obsv.TraceHook
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +110,12 @@ func (o Options) withDefaults() Options {
 		o.Online.InvocationProb = 0.05
 	}
 	o.ExecutePlans = !o.DisableExecution
+	if o.TraceRingSize == 0 {
+		o.TraceRingSize = 64
+	}
+	if o.TraceRingSize < 0 {
+		o.TraceRingSize = 0
+	}
 	return o
 }
 
@@ -139,6 +156,12 @@ type System struct {
 	loadMu   sync.Mutex
 	lastLoad *LoadReport
 
+	// obs is the serving path's metrics registry (DESIGN.md §9: a lock-free
+	// leaf — its atomic counters may be updated under any facade lock).
+	// cacheObs caches the registry's shared-cache counters for the hot path.
+	obs      *obsv.Registry
+	cacheObs *obsv.CacheObs
+
 	opts Options
 }
 
@@ -170,6 +193,11 @@ type templateState struct {
 	learnerErrs  int
 	degradedRuns int
 	retrainDrops int
+
+	// obs is this template's metrics (immutable pointer, set before the
+	// state is published; the counters themselves are atomics and need no
+	// lock).
+	obs *obsv.TemplateObs
 }
 
 // Open generates the database, builds statistics, and initializes the
@@ -192,8 +220,10 @@ func Open(opts Options) (*System, error) {
 		reg:       optimizer.NewRegistry(),
 		planByID:  make(map[int]*cachedPlan),
 		templates: make(map[string]*templateState),
+		obs:       obsv.NewRegistry(opts.TraceRingSize),
 		opts:      opts,
 	}
+	s.cacheObs = s.obs.Cache()
 	s.opt.SetFaults(opts.Faults)
 	s.exec.SetFaults(opts.Faults)
 	cache, err := plancache.New(opts.CacheCapacity, s.planPrecision)
@@ -256,7 +286,7 @@ func (s *System) registerLocked(name, sql string) error {
 		return err
 	}
 	online.SetFaults(s.opts.Faults)
-	st := &templateState{tmpl: tmpl, online: online, env: env}
+	st := &templateState{tmpl: tmpl, online: online, env: env, obs: s.obs.Template(name)}
 	env.st = st
 	if !s.opts.DisableBreaker {
 		st.breaker = metrics.NewBreaker(s.opts.Breaker)
@@ -319,8 +349,21 @@ type RunResult struct {
 	Fingerprint string
 	// CacheHit is true when a cached plan was reused without optimizing.
 	CacheHit bool
+	// Predicted is true when the learner emitted a NULL-free prediction
+	// (false on NULL predictions and on degraded runs, where the learner's
+	// decision was bypassed or discarded).
+	Predicted bool
 	// Invoked is true when the optimizer ran.
 	Invoked bool
+	// RandomInvocation marks an optimizer invocation forced by the random
+	// audit coin despite a usable prediction (Section IV-D).
+	RandomInvocation bool
+	// FeedbackCorrection marks a prediction rejected post-execution by the
+	// cost-based negative-feedback detector (Section IV-E).
+	FeedbackCorrection bool
+	// DriftReset is true when drift recovery dropped this template's
+	// histograms during this run.
+	DriftReset bool
 	// OptimizeTime is the wall time spent in the optimizer (0 on hits);
 	// PredictTime is the learner's decision time.
 	OptimizeTime time.Duration
@@ -333,6 +376,11 @@ type RunResult struct {
 	// learner error forced a fallback) and the optimizer was invoked
 	// directly.
 	Degraded bool
+	// DegradedByError marks the subset of degraded runs forced by a
+	// same-run learner error (as opposed to an already-open breaker). Such
+	// runs still carry the time spent in the failed learner step in
+	// PredictTime.
+	DegradedByError bool
 	// Result holds the executed rows (nil when execution is disabled).
 	Result *executor.Result
 }
@@ -357,6 +405,13 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 	if err != nil {
 		return nil, err
 	}
+	// Count typed-error returns for the metrics registry. (Recovered panics
+	// are not counted: capturePanic assigns err after this defer has run.)
+	defer func() {
+		if err != nil {
+			st.obs.CountRunError()
+		}
+	}()
 	inst, err := st.tmpl.Instantiate(values)
 	if err != nil {
 		return nil, err
@@ -390,7 +445,39 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 		res.ExecuteTime = time.Since(t1)
 		res.Result = out
 	}
+	s.observeRun(st, res)
 	return res, nil
+}
+
+// observeRun feeds one completed run into the metrics registry, the
+// template's trace ring, and the optional user trace hook. It runs after
+// the run has finished, outside all locks; the record is built on the
+// stack and copied, so the observability layer adds no allocations to the
+// serving path.
+func (s *System) observeRun(st *templateState, res *RunResult) {
+	var rec obsv.TraceRecord
+	rec.Template = res.Template
+	rec.PlanID = res.PlanID
+	rec.Fingerprint = res.Fingerprint
+	rec.Predicted = res.Predicted
+	rec.CacheHit = res.CacheHit
+	rec.Invoked = res.Invoked
+	rec.RandomInvocation = res.RandomInvocation
+	rec.FeedbackCorrection = res.FeedbackCorrection
+	rec.DriftReset = res.DriftReset
+	rec.Degraded = res.Degraded
+	rec.DegradedByError = res.DegradedByError
+	rec.Executed = res.Result != nil
+	rec.PredictNs = res.PredictTime.Nanoseconds()
+	rec.OptimizeNs = res.OptimizeTime.Nanoseconds()
+	rec.ExecuteNs = res.ExecuteTime.Nanoseconds()
+	rec.EstimatedCost = res.EstimatedCost
+	rec.SetValues(res.Values)
+	rec.SetPoint(res.Point)
+	st.obs.Observe(&rec)
+	if s.opts.TraceHook != nil {
+		s.opts.TraceHook(rec)
+	}
 }
 
 // decide runs the learner protocol under the template lock and reports
@@ -400,8 +487,13 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 func (s *System) decide(st *templateState, res *RunResult, point []float64) (degraded bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.breaker != nil && !st.breaker.Allow() {
-		return true
+	if st.breaker != nil {
+		prev := st.breaker.State()
+		allowed := st.breaker.Allow()
+		st.obs.BreakerTransition(prev, st.breaker.State())
+		if !allowed {
+			return true
+		}
 	}
 	st.env.lastOptTime = 0
 	t0 := time.Now()
@@ -411,26 +503,50 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 		// Learner-path failure: count it, trip the breaker toward
 		// degraded mode, and fall back to direct optimization for this
 		// run. The learner's state was not corrupted by the failed step.
+		// The time spent in the failed step must not vanish from the
+		// run's accounting: record it as decide time (any successfully
+		// timed optimizer work inside the step stays in OptimizeTime,
+		// which runDegraded extends) and mark the run degraded-by-error
+		// so traces and metrics can tell this fallback from an
+		// already-open breaker.
 		st.learnerErrs++
+		st.obs.CountLearnerError()
+		res.PredictTime = decide - st.env.lastOptTime
+		if res.PredictTime < 0 {
+			res.PredictTime = 0
+		}
+		res.OptimizeTime = st.env.lastOptTime
+		st.env.lastOptTime = 0
+		res.DegradedByError = true
 		if st.breaker != nil {
+			prev := st.breaker.State()
 			st.breaker.RecordFailure()
+			st.obs.BreakerTransition(prev, st.breaker.State())
 		}
 		return true
 	}
 	if st.breaker != nil {
+		prev := st.breaker.State()
 		st.breaker.RecordSuccess()
+		st.obs.BreakerTransition(prev, st.breaker.State())
 		if prec, ok := st.online.Estimator().Precision(); ok {
+			prev = st.breaker.State()
 			if st.breaker.ObservePrecision(prec, st.online.Estimator().SampleCount()) {
 				// Precision collapse tripped the breaker: drop the
 				// stale window so recovery is judged on fresh
 				// evidence once probes resume.
 				st.online.Estimator().Reset()
 			}
+			st.obs.BreakerTransition(prev, st.breaker.State())
 		}
 	}
 	res.PlanID = decision.Plan
 	res.CacheHit = decision.CacheHit
+	res.Predicted = decision.Predicted
 	res.Invoked = decision.Invoked
+	res.RandomInvocation = decision.RandomInvocation
+	res.FeedbackCorrection = decision.FeedbackCorrection
+	res.DriftReset = decision.Reset
 	res.PredictTime = decide - st.env.lastOptTime
 	if res.PredictTime < 0 {
 		res.PredictTime = 0
@@ -463,6 +579,7 @@ func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.I
 	st.degradedRuns++
 	if lerr := st.online.LearnValidated(point, res.PlanID, plan.Cost); lerr != nil {
 		st.retrainDrops++
+		st.obs.CountRetrainDrop()
 	}
 	return nil
 }
@@ -492,6 +609,13 @@ func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.I
 	}
 	if ok {
 		res.Fingerprint = entry.plan.Fingerprint
+		// Refresh the executed plan's recency. Touch (rather than Get)
+		// leaves an id a concurrent insertion has just evicted alone
+		// instead of recording a spurious cache miss.
+		s.cacheMu.Lock()
+		s.cache.Touch(res.PlanID)
+		s.cacheMu.Unlock()
+		s.cacheObs.CountHit()
 	} else {
 		// The predicted plan's tree was evicted from the cache (or was
 		// unusable): optimize afresh — a cache miss despite a possibly
@@ -508,11 +632,11 @@ func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.I
 		// OptimizeInstance binds the plan at these values already.
 		bound = plan
 		res.Fingerprint = plan.Fingerprint
+		// No recency refresh here: internPlan just Put the plan, which
+		// already made it the cache's most recent entry.
+		s.cacheObs.CountMiss()
 	}
 	res.EstimatedCost = bound.Cost
-	s.cacheMu.Lock()
-	s.cache.Get(res.PlanID) // refresh the executed plan's recency
-	s.cacheMu.Unlock()
 	return bound, nil
 }
 
@@ -527,13 +651,23 @@ func (s *System) internPlan(st *templateState, plan *optimizer.Plan) int {
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
 	s.planByID[id] = &cachedPlan{owner: st, plan: plan}
+	s.cacheObs.CountPut()
 	if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
 		delete(s.planByID, evicted)
+		s.cacheObs.CountEviction()
 	}
 	return id
 }
 
 // Stats summarizes a template's learner state.
+//
+// Precision and Recall are the Section IV-E sliding-window estimates.
+// When the window holds no (NULL-free) predictions the estimate does not
+// exist: the value is 0 and PrecisionKnown/RecallKnown are false. The
+// facade deliberately never substitutes the vacuous-precision 1.0 that
+// metrics.Counter.Precision uses for the paper's plots — an operator
+// reading "1.0" for a template that has never predicted would conclude
+// the opposite of the truth. MetricsSnapshot follows the same convention.
 type Stats struct {
 	Template        string
 	Degree          int
@@ -607,6 +741,128 @@ func (s *System) TemplateHealth(template string) (h Health, err error) {
 		h.Breaker = st.breaker.Snapshot()
 	}
 	return h, nil
+}
+
+// LearnerMetrics is the learner-internal slice of a template's metrics
+// snapshot: lifetime step counters, synopsis size, and the Section IV-E
+// sliding-window estimates. Estimates that do not exist (empty window) are
+// reported as value 0 with the matching Known flag false — never as a
+// vacuous 1.0 (see Stats).
+type LearnerMetrics struct {
+	// Steps counts learner protocol steps; NullPredictions the subset that
+	// emitted no plan. Both are lifetime totals, unlike the bounded
+	// estimator windows below.
+	Steps           int `json:"steps"`
+	NullPredictions int `json:"null_predictions"`
+	// SamplesAbsorbed and SynopsisBytes describe the histogram synopsis.
+	SamplesAbsorbed int `json:"samples_absorbed"`
+	SynopsisBytes   int `json:"synopsis_bytes"`
+	// Validated and SelfLabeled count insertions by provenance; Resets
+	// counts drift recoveries.
+	Validated   int `json:"validated_points"`
+	SelfLabeled int `json:"self_labeled_points"`
+	Resets      int `json:"drift_resets"`
+	// WindowSamples is the number of predictions in the sliding window.
+	WindowSamples  int     `json:"window_samples"`
+	Precision      float64 `json:"precision"`
+	PrecisionKnown bool    `json:"precision_known"`
+	Recall         float64 `json:"recall"`
+	RecallKnown    bool    `json:"recall_known"`
+	Beta           float64 `json:"beta"`
+	BetaKnown      bool    `json:"beta_known"`
+}
+
+// TemplateMetrics is one template's slice of a MetricsSnapshot: the
+// registry's counters and latency histograms, the learner's state, and the
+// circuit breaker's counters.
+type TemplateMetrics struct {
+	obsv.TemplateSnapshot
+	Degree         int                     `json:"degree"`
+	Learner        LearnerMetrics          `json:"learner"`
+	BreakerEnabled bool                    `json:"breaker_enabled"`
+	Breaker        metrics.BreakerSnapshot `json:"breaker"`
+}
+
+// CacheMetrics is the shared plan cache's slice of a MetricsSnapshot.
+type CacheMetrics struct {
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
+	obsv.CacheSnapshot
+}
+
+// MetricsSnapshotSchema identifies the MetricsSnapshot JSON format; bump
+// on incompatible changes.
+const MetricsSnapshotSchema = "ppc-metrics/v1"
+
+// MetricsSnapshot is a stable, JSON-serializable copy of the System's
+// serving-path metrics: per-template counters and latency histograms,
+// learner and breaker state, and the shared plan cache's counters.
+type MetricsSnapshot struct {
+	Schema    string            `json:"schema"`
+	Templates []TemplateMetrics `json:"templates"`
+	Cache     CacheMetrics      `json:"cache"`
+}
+
+// MetricsSnapshot assembles the current metrics across all templates. The
+// counters are atomics read without any lock; each template's learner and
+// breaker are read under that template's lock, one template at a time, so
+// a snapshot never stalls the whole serving path.
+func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
+	defer capturePanic("ppc.MetricsSnapshot", &err)
+	snap.Schema = MetricsSnapshotSchema
+	s.regMu.RLock()
+	states := make(map[string]*templateState, len(s.templates))
+	names := make([]string, 0, len(s.templates))
+	for n, st := range s.templates {
+		states[n] = st
+		names = append(names, n)
+	}
+	s.regMu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		st := states[name]
+		tm := TemplateMetrics{
+			TemplateSnapshot: st.obs.Snapshot(),
+			Degree:           st.tmpl.Degree(),
+		}
+		st.mu.Lock()
+		est := st.online.Estimator()
+		tm.Learner = LearnerMetrics{
+			Steps:           st.online.Steps(),
+			NullPredictions: st.online.NullPredictions(),
+			SamplesAbsorbed: st.online.Predictor().TotalPoints(),
+			SynopsisBytes:   st.online.Predictor().MemoryBytes(),
+			Validated:       st.online.Validated(),
+			SelfLabeled:     st.online.SelfLabeled(),
+			Resets:          st.online.Resets(),
+			WindowSamples:   est.SampleCount(),
+		}
+		tm.Learner.Precision, tm.Learner.PrecisionKnown = est.Precision()
+		tm.Learner.Recall, tm.Learner.RecallKnown = est.Recall()
+		tm.Learner.Beta, tm.Learner.BetaKnown = est.Beta()
+		if st.breaker != nil {
+			tm.BreakerEnabled = true
+			tm.Breaker = st.breaker.Snapshot()
+		}
+		st.mu.Unlock()
+		snap.Templates = append(snap.Templates, tm)
+	}
+	s.cacheMu.RLock()
+	snap.Cache.Len = s.cache.Len()
+	snap.Cache.Capacity = s.cache.Capacity()
+	s.cacheMu.RUnlock()
+	snap.Cache.CacheSnapshot = s.cacheObs.Snapshot()
+	return snap, nil
+}
+
+// TemplateTrace returns the template's most recent decision traces, oldest
+// first (nil when tracing is disabled via Options.TraceRingSize < 0).
+func (s *System) TemplateTrace(template string) ([]obsv.TraceRecord, error) {
+	st, err := s.lookup(template)
+	if err != nil {
+		return nil, err
+	}
+	return st.obs.Trace(), nil
 }
 
 // CacheLen returns the number of plans currently cached.
