@@ -6,7 +6,7 @@ GO ?= go
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR2.json
+BENCH_OUT  ?= BENCH_PR4.json
 
 # The gate: build, vet, the full test suite under the race detector, and the
 # serving-path zero-allocation guard (a separate non-race invocation: the
@@ -37,7 +37,7 @@ chaos:
 # Run the go-test serving-path benchmarks with allocation accounting, then
 # regenerate the machine-readable report through cmd/ppcbench.
 bench:
-	$(GO) test -run '^$$' -bench 'ApproxLSHHist|Run' -benchmem .
+	$(GO) test -run '^$$' -bench 'ApproxLSHHist|ModelSnapshot|Run' -benchmem .
 	$(GO) run ./cmd/ppcbench -bench -baseline $(BENCH_BASE) -benchout $(BENCH_OUT)
 
 # Benchcmp-style diff of two stored bench reports.

@@ -15,6 +15,7 @@ import (
 )
 
 func BenchmarkPredictApproxLSHHist(b *testing.B) { benchsuite.PredictApproxLSHHist(b) }
+func BenchmarkPredictModelSnapshot(b *testing.B) { benchsuite.PredictModelSnapshot(b) }
 func BenchmarkInsertApproxLSHHist(b *testing.B)  { benchsuite.InsertApproxLSHHist(b) }
 func BenchmarkEndToEndRun(b *testing.B)          { benchsuite.EndToEndRun(b) }
 func BenchmarkRunMixedSerial(b *testing.B)       { benchsuite.RunMixedSerial(b) }
@@ -24,3 +25,9 @@ func BenchmarkRunMixedSerial(b *testing.B)       { benchsuite.RunMixedSerial(b) 
 // BenchmarkRunMixedSerial it measures the scaling the sharded per-template
 // locks provide; on a single-CPU host the two coincide.
 func BenchmarkRunParallel(b *testing.B) { benchsuite.RunParallel(b) }
+
+// BenchmarkRunHotTemplateParallel serves ONE template from GOMAXPROCS
+// goroutines — the contention pattern per-template sharding cannot help
+// with. Against BenchmarkEndToEndRun it measures the scaling of the
+// lock-free snapshot serving path introduced in PR 4.
+func BenchmarkRunHotTemplateParallel(b *testing.B) { benchsuite.RunHotTemplateParallel(b) }

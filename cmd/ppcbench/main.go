@@ -4,8 +4,8 @@
 // Usage:
 //
 //	ppcbench [-scale N] [-seed S] [-frac F] [-list] [experiment ...]
-//	ppcbench -bench [-baseline FILE] [-benchout FILE] [-metrics]
-//	ppcbench -benchcmp OLD.json NEW.json
+//	ppcbench -bench [-baseline FILE] [-benchout FILE] [-metrics] [-regress PCT]
+//	ppcbench -benchcmp [-regress PCT] OLD.json NEW.json
 //
 // With no experiment arguments it runs the full suite in paper order. Each
 // experiment prints an aligned table with the same rows/series the paper
@@ -20,6 +20,11 @@
 // ns/op, allocs/op, B/op, the serial-vs-parallel speedup on a mixed
 // four-template workload, and — with -baseline — benchcmp-style deltas
 // against a stored report. -benchcmp diffs two such reports.
+//
+// -regress PCT turns either comparison into a gate: any serving-path
+// benchmark whose ns/op grew more than PCT percent versus the baseline is
+// printed to stderr and the process exits with status 2 (after the report
+// is written, so the artifact survives for archaeology).
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	baseline := flag.String("baseline", "", "with -bench: embed this stored report and benchcmp-style deltas")
 	benchCmp := flag.Bool("benchcmp", false, "diff two bench report JSON files: ppcbench -benchcmp OLD NEW")
 	withMetrics := flag.Bool("metrics", false, "with -bench: embed the serving-path metrics snapshot in the report")
+	regress := flag.Float64("regress", 0, "with -bench -baseline or -benchcmp: exit 2 if any benchmark's ns/op regressed more than this percent (0 disables)")
 	flag.Parse()
 
 	if *benchCmp {
@@ -59,10 +65,11 @@ func main() {
 			fatal(err)
 		}
 		benchsuite.WriteComparison(os.Stdout, old, cur)
+		failOnRegressions(benchsuite.Compare(old, cur), *regress)
 		return
 	}
 	if *bench {
-		if err := runBenchSuite(*baseline, *benchOut, *withMetrics); err != nil {
+		if err := runBenchSuite(*baseline, *benchOut, *withMetrics, *regress); err != nil {
 			fatal(err)
 		}
 		return
@@ -111,8 +118,10 @@ func main() {
 
 // runBenchSuite measures the serving-path suite, optionally folds in a
 // stored baseline report and the serving metrics snapshot, and writes the
-// JSON report to outPath (stdout when empty).
-func runBenchSuite(baselinePath, outPath string, withMetrics bool) error {
+// JSON report to outPath (stdout when empty). With regressPct > 0 and a
+// baseline, the process exits 2 after writing the report if any benchmark
+// regressed beyond the threshold.
+func runBenchSuite(baselinePath, outPath string, withMetrics bool, regressPct float64) error {
 	rep, err := benchsuite.RunSuite(os.Stderr)
 	if err != nil {
 		return err
@@ -149,7 +158,26 @@ func runBenchSuite(baselinePath, outPath string, withMetrics bool) error {
 	if outPath != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
+	failOnRegressions(rep.Deltas, regressPct)
 	return nil
+}
+
+// failOnRegressions exits with status 2 when any delta's ns/op regression
+// exceeds pct percent. pct <= 0 disables the gate.
+func failOnRegressions(deltas []benchsuite.Delta, pct float64) {
+	if pct <= 0 {
+		return
+	}
+	bad := benchsuite.Regressions(deltas, pct)
+	if len(bad) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ppcbench: %d benchmark(s) regressed beyond %.1f%%:\n", len(bad), pct)
+	for _, d := range bad {
+		fmt.Fprintf(os.Stderr, "  %s: %.1f ns/op -> %.1f ns/op (%+.2f%%)\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.NsDeltaPct)
+	}
+	os.Exit(2)
 }
 
 // writeCSV writes one experiment table to dir/id.csv.

@@ -199,6 +199,11 @@ func main() {
 		fatal(err)
 	}
 	wg.Wait()
+	// Stop the background appliers so every queued feedback point is
+	// applied before the process exits.
+	if err := sys.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // generateLoad replays an endless trajectory workload against one template

@@ -144,15 +144,12 @@ func TestParallelTemplateIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.mu.Lock()
 	for i := 0; i < 3; i++ {
 		st.breaker.RecordFailure()
 	}
 	if got := st.breaker.State(); got != metrics.BreakerOpen {
-		st.mu.Unlock()
 		t.Fatalf("Q0 breaker state after trip = %v", got)
 	}
-	st.mu.Unlock()
 
 	const runsPerTemplate = 40
 	var wg sync.WaitGroup

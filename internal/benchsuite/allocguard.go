@@ -13,7 +13,7 @@ import (
 // observability registry in particular) can never silently reintroduce
 // allocations — a regression here fails `make tier1`, not a BENCH json
 // archaeology session months later.
-var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "InsertApproxLSHHist"}
+var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "PredictModelSnapshot", "InsertApproxLSHHist"}
 
 // CheckZeroAlloc measures the named suite entries under testing.Benchmark
 // and returns an error naming every entry that allocated. progress may be

@@ -83,6 +83,25 @@ func PredictApproxLSHHist(b *testing.B) {
 	}
 }
 
+// PredictModelSnapshot measures the PR 4 lock-free serving path in
+// isolation: Predict against an immutable frozen Model snapshot with a
+// pooled scratch buffer, exactly as Online.StepConcurrent serves it. Like
+// PredictApproxLSHHist it must stay allocation-free — the pool amortizes
+// the scratch allocation away in steady state.
+func PredictModelSnapshot(b *testing.B) {
+	hist, tests := predictorEnv(b)
+	model := hist.Freeze()
+	cfg := hist.Config()
+	pool := sync.Pool{New: func() any { return core.NewPredictScratch(cfg) }}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := pool.Get().(*core.PredictScratch)
+		model.PredictWithCost(tests[i%len(tests)], sc)
+		pool.Put(sc)
+	}
+}
+
 // InsertApproxLSHHist measures the online insertion path (Section IV-D
 // feedback).
 func InsertApproxLSHHist(b *testing.B) {
@@ -218,6 +237,34 @@ func RunMixedSerial(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// RunHotTemplateParallel hammers ONE template (Q1) from GOMAXPROCS
+// goroutines — the worst case for any per-template lock, and the case the
+// PR 4 read/write split is for. With the PR 3 per-template mutex every
+// goroutine serialized on Q1's learner lock, so this benchmark could not
+// beat EndToEndRun; with lock-free predict on an immutable model snapshot
+// it scales with GOMAXPROCS. Compare its ns/op against EndToEndRun (the
+// serial single-template baseline): the ratio is the hot_template_speedup
+// the report records.
+func RunHotTemplateParallel(b *testing.B) {
+	sys, vals := runEnv(b)
+	pts := vals["Q1"]
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine point offset so lanes walk different parts of the
+		// trajectory instead of lock-stepping on identical parameters.
+		i := int(next.Add(1)) * 131
+		for pb.Next() {
+			if _, err := sys.Run("Q1", pts[i%len(pts)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // RunParallel issues the mixed-template workload from GOMAXPROCS

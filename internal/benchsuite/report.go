@@ -20,10 +20,12 @@ var Suite = []struct {
 	Fn   func(*testing.B)
 }{
 	{"PredictApproxLSHHist", PredictApproxLSHHist},
+	{"PredictModelSnapshot", PredictModelSnapshot},
 	{"InsertApproxLSHHist", InsertApproxLSHHist},
 	{"EndToEndRun", EndToEndRun},
 	{"RunMixedSerial", RunMixedSerial},
 	{"RunParallel", RunParallel},
+	{"RunHotTemplateParallel", RunHotTemplateParallel},
 }
 
 // Result is one benchmark measurement in machine-readable form.
@@ -64,6 +66,13 @@ type Report struct {
 	NumCPU          int      `json:"num_cpu"`
 	Benchmarks      []Result `json:"benchmarks"`
 	ParallelSpeedup float64  `json:"parallel_speedup,omitempty"`
+	// HotTemplateSpeedup is EndToEndRun ns/op divided by
+	// RunHotTemplateParallel ns/op — the throughput gain of the lock-free
+	// snapshot serving path when every goroutine hits the SAME template.
+	// Per-template sharding alone cannot move this number above ~1; only
+	// the PR 4 read/write split can. Like ParallelSpeedup it is bounded by
+	// GOMAXPROCS.
+	HotTemplateSpeedup float64 `json:"hot_template_speedup,omitempty"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -97,6 +106,11 @@ func RunSuite(progress io.Writer) (Report, error) {
 	par, okP := rep.Find("RunParallel")
 	if okS && okP && par.NsPerOp > 0 {
 		rep.ParallelSpeedup = serial.NsPerOp / par.NsPerOp
+	}
+	one, okO := rep.Find("EndToEndRun")
+	hot, okH := rep.Find("RunHotTemplateParallel")
+	if okO && okH && hot.NsPerOp > 0 {
+		rep.HotTemplateSpeedup = one.NsPerOp / hot.NsPerOp
 	}
 	return rep, nil
 }
@@ -174,6 +188,24 @@ func WriteComparison(w io.Writer, old, cur Report) {
 	if old.ParallelSpeedup > 0 || cur.ParallelSpeedup > 0 {
 		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "parallel speedup", old.ParallelSpeedup, cur.ParallelSpeedup)
 	}
+	if old.HotTemplateSpeedup > 0 || cur.HotTemplateSpeedup > 0 {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "hot-template speedup", old.HotTemplateSpeedup, cur.HotTemplateSpeedup)
+	}
+}
+
+// Regressions filters deltas down to serving-path time regressions beyond
+// pct percent (e.g. pct=10 flags any benchmark whose ns/op grew more than
+// 10% versus the baseline). Benchmarks absent from the baseline produce no
+// delta and so can never regress. The caller decides what to do with the
+// result; ppcbench -regress exits non-zero when it is non-empty.
+func Regressions(deltas []Delta, pct float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.NsDeltaPct > pct {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // ReadReport loads a report JSON written by WriteReport (or a hand-written

@@ -47,17 +47,27 @@ type ApproxLSHHist struct {
 	total    int
 	plans    map[int]bool
 	// scr holds the reusable buffers of the allocation-free serving path.
-	// The predictor is not safe for concurrent use — its owner (the
-	// template lock in the facade) serializes Insert/Predict — so a single
-	// scratch per predictor suffices.
-	scr *predictScratch
+	// The live predictor is not safe for concurrent use — its owner
+	// (core.Online's learner lock) serializes Insert/Predict — so a single
+	// scratch per predictor suffices. Lock-free readers instead call
+	// Model.PredictWithCost with pooled scratches.
+	scr *PredictScratch
+
+	// gen counts mutations (Insert/Reset); frozen caches the Model
+	// published at frozenGen so Freeze after a quiet period is a pointer
+	// return, and otherwise copies only the histograms touched since the
+	// previous publication (each Dynamic caches its own frozen view).
+	gen       uint64
+	frozen    *Model
+	frozenGen uint64
 }
 
-// predictScratch is the per-predictor working memory reused across
-// Insert/PredictWithCost calls so the steady-state serving path performs no
-// heap allocation. Rows of counts/costs are recycled; they only grow while
-// new plans appear.
-type predictScratch struct {
+// PredictScratch is the working memory of one in-flight predict call,
+// reused across calls so the steady-state serving path performs no heap
+// allocation. The live predictor owns one; lock-free snapshot readers draw
+// them from a sync.Pool. Rows of counts/costs are recycled; they only grow
+// while new plans appear.
+type PredictScratch struct {
 	x         []float64   // clamped input point
 	proj      []float64   // one transform's projection output
 	cell      []uint32    // z-order cell coordinates
@@ -70,26 +80,32 @@ type predictScratch struct {
 	costs     [][]float64 // [row][transform] in-range average cost
 }
 
+// NewPredictScratch allocates scratch buffers sized for cfg. cfg must be an
+// effective (defaulted) configuration, e.g. from Model.Config.
+func NewPredictScratch(cfg Config) *PredictScratch {
+	t := cfg.Transforms
+	return &PredictScratch{
+		x:         make([]float64, cfg.Dims),
+		proj:      make([]float64, cfg.OutDims),
+		cell:      make([]uint32, cfg.OutDims),
+		localMass: make([]float64, t),
+		tmp:       make([]float64, t),
+		planRow:   make(map[int]int),
+	}
+}
+
 // scratch lazily creates the predictor's scratch buffers (decoded
 // predictors arrive without them).
-func (p *ApproxLSHHist) scratch() *predictScratch {
+func (p *ApproxLSHHist) scratch() *PredictScratch {
 	if p.scr == nil {
-		t := p.cfg.Transforms
-		p.scr = &predictScratch{
-			x:         make([]float64, p.cfg.Dims),
-			proj:      make([]float64, p.cfg.OutDims),
-			cell:      make([]uint32, p.cfg.OutDims),
-			localMass: make([]float64, t),
-			tmp:       make([]float64, t),
-			planRow:   make(map[int]int),
-		}
+		p.scr = NewPredictScratch(p.cfg)
 	}
 	return p.scr
 }
 
 // addPlan registers a plan seen during the current query and returns its
 // row, zeroing a recycled row or growing the row set on first use.
-func (s *predictScratch) addPlan(plan, t int) int {
+func (s *PredictScratch) addPlan(plan, t int) int {
 	row := len(s.planIDs)
 	s.planIDs = append(s.planIDs, plan)
 	s.planRow[plan] = row
@@ -199,6 +215,7 @@ func (p *ApproxLSHHist) Insert(s cluster.Sample) {
 	}
 	p.plans[s.Plan] = true
 	p.total++
+	p.gen++
 }
 
 // Predict implements Predictor.
@@ -208,144 +225,49 @@ func (p *ApproxLSHHist) Predict(x []float64) cluster.Prediction {
 }
 
 // PredictWithCost implements CostPredictor. The steady-state call performs
-// no heap allocation: every temporary lives in the predictor's scratch.
+// no heap allocation: every temporary lives in the predictor's scratch. The
+// body is the generic predictOn core shared with Model.PredictWithCost,
+// instantiated here over the live *histogram.Dynamic synopses.
 func (p *ApproxLSHHist) PredictWithCost(x []float64) (cluster.Prediction, float64, bool) {
 	if p.total < p.cfg.MinSamples || len(x) != p.cfg.Dims {
 		// A malformed point answers NULL — the facade's capturePanic guard
 		// must not be bypassable through the predictor boundary.
 		return cluster.Prediction{}, 0, false
 	}
-	sc := p.scratch()
-	clampPointInto(sc.x, x)
-	t := len(p.hists)
-	sc.planIDs = sc.planIDs[:0]
-	clear(sc.planRow)
+	return predictOn(&p.cfg, p.ensemble, p.curves, p.hists, p.marginals, p.valueDeltas, p.ballFrac, x, p.scratch())
+}
+
+// Freeze publishes an immutable Model of the current state. Consecutive
+// calls without an intervening mutation return the SAME *Model; otherwise
+// the per-(transform, plan) maps are rebuilt but each histogram's Freeze is
+// a cached pointer unless that histogram was written — copy-on-write at
+// histogram granularity.
+func (p *ApproxLSHHist) Freeze() *Model {
+	if p.frozen != nil && p.frozenGen == p.gen {
+		return p.frozen
+	}
+	m := &Model{
+		cfg:         p.cfg,
+		ensemble:    p.ensemble,
+		curves:      p.curves,
+		hists:       make([]map[int]*histogram.Histogram, len(p.hists)),
+		marginals:   make([]*histogram.Histogram, len(p.marginals)),
+		valueDeltas: p.valueDeltas,
+		ballFrac:    p.ballFrac,
+		total:       p.total,
+		nPlans:      len(p.plans),
+		version:     p.gen,
+	}
 	for i := range p.hists {
-		if err := p.ensemble.Transform(i).ApplyInto(sc.proj, sc.x); err != nil {
-			panic(err) // dims validated above
-		}
-		z := p.curves[i].ValueWith(sc.cell, sc.proj)
-		lo, hi := p.queryRange(i, z)
-		sc.localMass[i] = p.marginals[i].RangeCount(lo, hi)
+		m.hists[i] = make(map[int]*histogram.Histogram, len(p.hists[i]))
 		for plan, h := range p.hists[i] {
-			cost, count := h.RangeCost(lo, hi)
-			if count <= 0 {
-				continue
-			}
-			row, ok := sc.planRow[plan]
-			if !ok {
-				row = sc.addPlan(plan, t)
-			}
-			sc.counts[row][i] = count
-			sc.costs[row][i] = cost / count
+			m.hists[i][plan] = h.Freeze()
 		}
+		m.marginals[i] = p.marginals[i].Freeze()
 	}
-	// Deterministic float accumulation and tie breaking: vote in ascending
-	// plan order, exactly like cluster.PredictFromDensities.
-	sortPlans(sc.planIDs)
-	sc.med = sc.med[:0]
-	for _, plan := range sc.planIDs {
-		// Transforms that saw no density contribute zeros to the median.
-		copy(sc.tmp, sc.counts[sc.planRow[plan]])
-		sc.med = append(sc.med, median(sc.tmp))
-	}
-	// Noise elimination (Section IV-C): plan densities below a fixed
-	// fraction of the plan space point mass found in the query range are
-	// assumed to be z-order false positives and are excluded from the
-	// vote. (The paper states the threshold as a constant factor of the
-	// total point count; we apply it to the local in-range mass so the
-	// check stays meaningful for sub-bucket interpolated queries.)
-	if p.cfg.NoiseElimination {
-		floor := p.cfg.NoiseFraction * median(sc.localMass)
-		for i, c := range sc.med {
-			if c < floor {
-				sc.med[i] = 0
-			}
-		}
-	}
-	pred := cluster.PredictFromDensityList(sc.planIDs, sc.med, p.cfg.Gamma)
-	if !pred.OK {
-		return pred, 0, false
-	}
-	// Median cost over the transforms that actually saw the winning plan.
-	row := sc.planRow[pred.Plan]
-	k := 0
-	for i := 0; i < t; i++ {
-		if sc.counts[row][i] > 0 {
-			sc.tmp[k] = sc.costs[row][i]
-			k++
-		}
-	}
-	if k == 0 {
-		return pred, 0, false
-	}
-	return pred, median(sc.tmp[:k]), true
-}
-
-// queryRange computes the curve interval around z that realizes the
-// paper's δ (half of the query sphere's volume) for transform i. Two
-// measures are combined:
-//
-//   - the geometric value range [z ± δ_i], where 2δ_i is the z-measure of
-//     the image of the query ball — exact when the workload is locally
-//     dense (the online, trajectory case);
-//   - the rank range covering the ball-volume fraction of the observed
-//     points around z's rank in the marginal distribution — an adaptive
-//     floor that keeps high-dimensional queries meaningful when the
-//     geometric ball is so small that it would be empty under any
-//     realistic sample size.
-//
-// The returned interval is the union of the two.
-func (p *ApproxLSHHist) queryRange(i int, z float64) (lo, hi float64) {
-	lo, hi = z-p.valueDeltas[i], z+p.valueDeltas[i]
-	m := p.marginals[i]
-	if m.TotalCount() > 0 {
-		rank := rankOf(m, z)
-		f := p.ballFrac / 2
-		if rlo := quantileOf(m, math.Max(0, rank-f)); rlo < lo {
-			lo = rlo
-		}
-		if rhi := quantileOf(m, math.Min(1, rank+f)); rhi > hi {
-			hi = rhi
-		}
-	}
-	if hi <= lo {
-		hi = math.Nextafter(lo, math.Inf(1))
-	}
-	return lo, hi
-}
-
-// rankOf estimates the fraction of points with value <= z.
-func rankOf(h *histogram.Dynamic, z float64) float64 {
-	c := h.RangeCount(0, z)
-	t := h.TotalCount()
-	if t <= 0 {
-		return 0
-	}
-	return c / t
-}
-
-// quantileOf inverts rankOf via the bucket structure.
-func quantileOf(h *histogram.Dynamic, p float64) float64 {
-	if p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return 1
-	}
-	target := p * h.TotalCount()
-	var cum float64
-	for _, b := range h.Buckets() {
-		if cum+b.Count >= target {
-			if b.Count <= 0 {
-				return b.Lo
-			}
-			frac := (target - cum) / b.Count
-			return b.Lo + frac*b.Width()
-		}
-		cum += b.Count
-	}
-	return 1
+	p.frozen = m
+	p.frozenGen = p.gen
+	return m
 }
 
 // TotalPoints implements Predictor.
@@ -371,6 +293,7 @@ func (p *ApproxLSHHist) Reset() {
 	}
 	p.plans = make(map[int]bool)
 	p.total = 0
+	p.gen++
 }
 
 // Config returns the effective (defaulted) configuration.

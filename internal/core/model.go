@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/histogram"
+	"repro/internal/lsh"
+	"repro/internal/zorder"
+)
+
+// Model is an immutable snapshot of one template's learned plan space
+// model: the LSH ensemble and z-order curves (shared with the live
+// predictor — they are fixed at construction), plus frozen copies of every
+// (transform, plan) histogram and per-transform marginal. A Model is
+// published through an atomic pointer and read lock-free by any number of
+// concurrent predictors; it is never mutated after Freeze builds it.
+//
+// The freeze is copy-on-write at histogram granularity: Freeze reuses the
+// frozen histogram of every (transform, plan) pair untouched since the
+// previous publication, so publish cost is proportional to the buckets a
+// feedback batch actually wrote, not to the size of the model.
+type Model struct {
+	cfg      Config
+	ensemble *lsh.Ensemble
+	curves   []*zorder.Curve
+	// hists and marginals are frozen views of the live synopses.
+	hists       []map[int]*histogram.Histogram
+	marginals   []*histogram.Histogram
+	valueDeltas []float64
+	ballFrac    float64
+	total       int
+	nPlans      int
+	// version is the predictor's mutation generation at freeze time; it
+	// increases with every publication of changed state.
+	version uint64
+}
+
+// TotalPoints returns the number of points the snapshot summarizes.
+func (m *Model) TotalPoints() int { return m.total }
+
+// Plans returns the number of distinct plans in the snapshot.
+func (m *Model) Plans() int { return m.nPlans }
+
+// Version is the learner's mutation generation at freeze time.
+func (m *Model) Version() uint64 { return m.version }
+
+// Config returns the effective predictor configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// MemoryBytes reports the snapshot's footprint with the paper's accounting
+// (t·n·b_h·12 plus one marginal per transformation), matching
+// ApproxLSHHist.MemoryBytes for the same state.
+func (m *Model) MemoryBytes() int {
+	n := m.nPlans
+	if n == 0 {
+		n = 1
+	}
+	return m.cfg.Transforms * (n + 1) * m.cfg.HistBuckets * histogram.BytesPerBucket
+}
+
+// Predict answers a plan prediction from the snapshot using the caller's
+// scratch buffers.
+func (m *Model) Predict(x []float64, sc *PredictScratch) cluster.Prediction {
+	pred, _, _ := m.PredictWithCost(x, sc)
+	return pred
+}
+
+// PredictWithCost answers a plan prediction and histogram cost estimate
+// from the snapshot. It is lock-free and safe for any number of concurrent
+// callers, provided each call uses its own PredictScratch (readers draw one
+// from a pool). The algorithm is identical to the live predictor's — both
+// instantiate the same generic core over their histogram representation.
+func (m *Model) PredictWithCost(x []float64, sc *PredictScratch) (cluster.Prediction, float64, bool) {
+	if m.total < m.cfg.MinSamples || len(x) != m.cfg.Dims {
+		return cluster.Prediction{}, 0, false
+	}
+	return predictOn(&m.cfg, m.ensemble, m.curves, m.hists, m.marginals, m.valueDeltas, m.ballFrac, x, sc)
+}
+
+// histView is the read-only histogram surface the predict core needs. Both
+// the live *histogram.Dynamic and the frozen *histogram.Histogram satisfy
+// it, so the serving algorithm is written once and instantiated (without
+// interface dispatch or allocation) for each representation.
+type histView interface {
+	RangeCount(lo, hi float64) float64
+	RangeCost(lo, hi float64) (cost, count float64)
+	TotalCount() float64
+	Buckets() []histogram.Bucket
+}
+
+// predictOn is the APPROXIMATE-LSH-HISTOGRAMS density/cost query of Section
+// IV-C, generic over the histogram representation. The steady-state call
+// performs no heap allocation: every temporary lives in sc. Callers have
+// already checked MinSamples and the point's dimensionality.
+func predictOn[H histView](cfg *Config, ens *lsh.Ensemble, curves []*zorder.Curve,
+	hists []map[int]H, marginals []H, valueDeltas []float64, ballFrac float64,
+	x []float64, sc *PredictScratch) (cluster.Prediction, float64, bool) {
+	clampPointInto(sc.x, x)
+	t := len(hists)
+	sc.planIDs = sc.planIDs[:0]
+	clear(sc.planRow)
+	for i := range hists {
+		if err := ens.Transform(i).ApplyInto(sc.proj, sc.x); err != nil {
+			panic(err) // dims validated by the caller
+		}
+		z := curves[i].ValueWith(sc.cell, sc.proj)
+		lo, hi := queryRangeOn(marginals[i], valueDeltas[i], ballFrac, z)
+		sc.localMass[i] = marginals[i].RangeCount(lo, hi)
+		for plan, h := range hists[i] {
+			cost, count := h.RangeCost(lo, hi)
+			if count <= 0 {
+				continue
+			}
+			row, ok := sc.planRow[plan]
+			if !ok {
+				row = sc.addPlan(plan, t)
+			}
+			sc.counts[row][i] = count
+			sc.costs[row][i] = cost / count
+		}
+	}
+	// Deterministic float accumulation and tie breaking: vote in ascending
+	// plan order, exactly like cluster.PredictFromDensities.
+	sortPlans(sc.planIDs)
+	sc.med = sc.med[:0]
+	for _, plan := range sc.planIDs {
+		// Transforms that saw no density contribute zeros to the median.
+		copy(sc.tmp, sc.counts[sc.planRow[plan]])
+		sc.med = append(sc.med, median(sc.tmp))
+	}
+	// Noise elimination (Section IV-C): plan densities below a fixed
+	// fraction of the plan space point mass found in the query range are
+	// assumed to be z-order false positives and are excluded from the
+	// vote. (The paper states the threshold as a constant factor of the
+	// total point count; we apply it to the local in-range mass so the
+	// check stays meaningful for sub-bucket interpolated queries.)
+	if cfg.NoiseElimination {
+		floor := cfg.NoiseFraction * median(sc.localMass)
+		for i, c := range sc.med {
+			if c < floor {
+				sc.med[i] = 0
+			}
+		}
+	}
+	pred := cluster.PredictFromDensityList(sc.planIDs, sc.med, cfg.Gamma)
+	if !pred.OK {
+		return pred, 0, false
+	}
+	// Median cost over the transforms that actually saw the winning plan.
+	row := sc.planRow[pred.Plan]
+	k := 0
+	for i := 0; i < t; i++ {
+		if sc.counts[row][i] > 0 {
+			sc.tmp[k] = sc.costs[row][i]
+			k++
+		}
+	}
+	if k == 0 {
+		return pred, 0, false
+	}
+	return pred, median(sc.tmp[:k]), true
+}
+
+// queryRangeOn computes the curve interval around z that realizes the
+// paper's δ (half of the query sphere's volume) for one transform. Two
+// measures are combined:
+//
+//   - the geometric value range [z ± δ_i], where 2δ_i is the z-measure of
+//     the image of the query ball — exact when the workload is locally
+//     dense (the online, trajectory case);
+//   - the rank range covering the ball-volume fraction of the observed
+//     points around z's rank in the marginal distribution — an adaptive
+//     floor that keeps high-dimensional queries meaningful when the
+//     geometric ball is so small that it would be empty under any
+//     realistic sample size.
+//
+// The returned interval is the union of the two.
+func queryRangeOn[H histView](m H, valueDelta, ballFrac, z float64) (lo, hi float64) {
+	lo, hi = z-valueDelta, z+valueDelta
+	if m.TotalCount() > 0 {
+		rank := rankOn(m, z)
+		f := ballFrac / 2
+		if rlo := quantileOn(m, math.Max(0, rank-f)); rlo < lo {
+			lo = rlo
+		}
+		if rhi := quantileOn(m, math.Min(1, rank+f)); rhi > hi {
+			hi = rhi
+		}
+	}
+	if hi <= lo {
+		hi = math.Nextafter(lo, math.Inf(1))
+	}
+	return lo, hi
+}
+
+// rankOn estimates the fraction of points with value <= z.
+func rankOn[H histView](h H, z float64) float64 {
+	c := h.RangeCount(0, z)
+	t := h.TotalCount()
+	if t <= 0 {
+		return 0
+	}
+	return c / t
+}
+
+// quantileOn inverts rankOn via the bucket structure.
+func quantileOn[H histView](h H, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	target := p * h.TotalCount()
+	var cum float64
+	for _, b := range h.Buckets() {
+		if cum+b.Count >= target {
+			if b.Count <= 0 {
+				return b.Lo
+			}
+			frac := (target - cum) / b.Count
+			return b.Lo + frac*b.Width()
+		}
+		cum += b.Count
+	}
+	return 1
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
@@ -140,32 +142,92 @@ type Decision struct {
 	// during this step.
 	Reset bool
 	// PositiveInsertion marks a high-confidence prediction that was fed
-	// back into the histograms as a self-labeled point.
+	// back into the histograms as a self-labeled point. With an
+	// asynchronous FeedbackSink it marks delivery, not application.
 	PositiveInsertion bool
 }
 
+// Feedback is one labeled plan space point on its way into the histograms.
+// Point is an owned copy (safe to retain and to apply on another
+// goroutine). Epoch is the learner's drift-reset epoch at creation time: a
+// point queued before a drift reset must not pollute the fresh synopsis, so
+// Apply drops feedback whose epoch is stale — the asynchronous analogue of
+// the serial insert-then-reset ordering.
+type Feedback struct {
+	Point       []float64
+	Plan        int
+	Cost        float64
+	SelfLabeled bool
+	Epoch       int64
+}
+
+// FeedbackSink receives feedback points produced by StepConcurrent. The
+// facade implements it with a bounded per-template mailbox drained by a
+// background apply goroutine; Deliver must not block indefinitely (degrade
+// to a synchronous Apply instead of dropping validated points).
+type FeedbackSink interface {
+	Deliver(fb Feedback)
+}
+
 // Online is the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver for one query
-// template (Sections IV-D and IV-E). Not safe for concurrent use.
+// template (Sections IV-D and IV-E), split RCU-style into a lock-free read
+// path and a serialized write path:
+//
+//   - Readers (StepConcurrent) load the current immutable *Model from an
+//     atomic pointer and predict with scratch buffers drawn from a pool —
+//     no lock is taken on the serving path, so any number of goroutines can
+//     predict on one template concurrently.
+//   - Writers (Apply/ApplyBatch/DecodeState/drift reset) serialize on mu,
+//     mutate the live ApproxLSHHist, and publish a fresh snapshot with
+//     copy-on-write at histogram granularity (Freeze reuses every frozen
+//     histogram untouched since the previous publication).
+//
+// Step (the serial entry point used by experiments) is StepConcurrent with
+// an inline sink: every feedback point is applied and published before the
+// call returns, which makes single-threaded behaviour — predictions,
+// counters, rng sequence — identical to the pre-split driver.
 type Online struct {
-	cfg    OnlineConfig
-	pred   *ApproxLSHHist
-	env    Environment
-	rng    *rand.Rand
-	est    *metrics.TemplateEstimator
+	cfg OnlineConfig
+	env Environment
+	est *metrics.TemplateEstimator
+
+	// mu serializes the write path: pred mutation, snapshot publication,
+	// and state encode/decode. It is never taken by StepConcurrent's
+	// serving path (predict, coin, feedback creation).
+	mu   sync.Mutex
+	pred *ApproxLSHHist
+
+	// snap is the published immutable model; readers load it lock-free.
+	snap      atomic.Pointer[Model]
+	publishes atomic.Int64
+
+	// rngMu guards the random-invocation coin so concurrent steps draw
+	// from one deterministic sequence (serial callers see the exact
+	// pre-split sequence).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// scratch pools predict working memory across concurrent readers.
+	scratch sync.Pool
+
 	faults *faults.Injector
-	// resets counts drift recoveries.
-	resets int
+
+	// resets counts drift recoveries; it doubles as the feedback epoch.
+	resets atomic.Int64
 	// validated and selfLabeled count insertions by provenance, enforcing
 	// the positive-feedback budget.
-	validated   int
-	selfLabeled int
+	validated   atomic.Int64
+	selfLabeled atomic.Int64
+	// staleDrops counts feedback discarded because a drift reset happened
+	// between its creation and its application.
+	staleDrops atomic.Int64
 	// steps and nulls are lifetime observability counters: steps counts
 	// Step calls that passed validation, nulls the subset whose prediction
 	// was NULL. Unlike the estimator windows they never slide or reset, and
 	// unlike validated/selfLabeled they are not learned state — EncodeState
 	// deliberately omits them (a restarted process starts counting fresh).
-	steps int
-	nulls int
+	steps atomic.Int64
+	nulls atomic.Int64
 }
 
 // NewOnline creates an online driver for one template.
@@ -181,13 +243,17 @@ func NewOnline(cfg OnlineConfig, env Environment) (*Online, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Online{
+	o := &Online{
 		cfg:  cfg,
 		pred: pred,
 		env:  env,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		est:  metrics.NewTemplateEstimator(cfg.WindowK),
-	}, nil
+	}
+	scratchCfg := pred.Config()
+	o.scratch.New = func() any { return NewPredictScratch(scratchCfg) }
+	o.snap.Store(pred.Freeze())
+	return o, nil
 }
 
 // MustNewOnline is like NewOnline but panics on error.
@@ -217,17 +283,34 @@ func MustNewOnline(cfg OnlineConfig, env Environment) *Online {
 // optional PositiveFeedback extension additionally reinforces very
 // confident, cost-consistent predictions within a strict budget.
 //
+// Feedback is applied inline (nil sink), so the step's insertions are
+// visible to the very next prediction — serial callers see the exact
+// behaviour of the pre-split driver.
+//
 // A non-nil error reports a failed Environment call (optimizer or
 // recosting); the returned Decision describes how far the step got. The
 // driver's learned state is never corrupted by a failed step — the labeled
 // point is simply not inserted.
 func (o *Online) Step(x []float64) (Decision, error) {
+	return o.StepConcurrent(x, o.env, nil)
+}
+
+// StepConcurrent is Step against an explicit environment and feedback sink.
+// It is safe for any number of concurrent callers: the prediction runs
+// lock-free on the published snapshot with pooled scratch buffers, and
+// every labeled point is handed to sink instead of being inserted inline.
+// A nil sink applies feedback synchronously (and publishes), which is the
+// serial Step behaviour.
+func (o *Online) StepConcurrent(x []float64, env Environment, sink FeedbackSink) (Decision, error) {
 	var d Decision
 	if len(x) != o.cfg.Core.Dims {
 		return d, fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
 	}
-	o.steps++
-	pred, costEst, costOK := o.pred.PredictWithCost(x)
+	o.steps.Add(1)
+	model := o.snap.Load()
+	sc := o.scratch.Get().(*PredictScratch)
+	pred, costEst, costOK := model.PredictWithCost(x, sc)
+	o.scratch.Put(sc)
 	// Injected learner misprediction: garble the plan choice, simulating a
 	// corrupted synopsis. The safety rails (negative feedback, breaker)
 	// must contain it.
@@ -239,9 +322,9 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	d.Confidence = pred.Confidence
 
 	if !pred.OK {
-		o.nulls++
+		o.nulls.Add(1)
 		o.est.RecordNull()
-		plan, _, err := o.optimizeAndLearn(x)
+		plan, err := o.optimizeAndDeliver(x, env, sink)
 		if err != nil {
 			return d, err
 		}
@@ -263,8 +346,11 @@ func (o *Online) Step(x []float64) (Decision, error) {
 		if p < o.cfg.InvocationProb/2 {
 			p = o.cfg.InvocationProb / 2
 		}
-		if o.rng.Float64() < p {
-			plan, _, err := o.optimizeAndLearn(x)
+		o.rngMu.Lock()
+		coin := o.rng.Float64()
+		o.rngMu.Unlock()
+		if coin < p {
+			plan, err := o.optimizeAndDeliver(x, env, sink)
 			if err != nil {
 				return d, err
 			}
@@ -281,7 +367,7 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	// Serve the cached plan and watch its cost.
 	d.Plan = pred.Plan
 	d.CacheHit = true
-	observed, err := o.env.ExecuteCost(x, pred.Plan)
+	observed, err := env.ExecuteCost(x, pred.Plan)
 	if err != nil {
 		return d, err
 	}
@@ -291,7 +377,7 @@ func (o *Online) Step(x []float64) (Decision, error) {
 			// Plan cost predictability violated: treat as misprediction
 			// (Section IV-E contrapositive), correct immediately.
 			correct = false
-			plan, _, err := o.optimizeAndLearn(x)
+			plan, err := o.optimizeAndDeliver(x, env, sink)
 			if err != nil {
 				return d, err
 			}
@@ -305,10 +391,8 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	// cost-consistent predictions, within the self-labeling budget.
 	if o.cfg.PositiveFeedback && correct &&
 		pred.Confidence >= o.cfg.PositiveConfidence &&
-		float64(o.selfLabeled) < o.cfg.PositiveRatio*float64(o.validated) {
-		// Insert does not retain the point, so no defensive copy is needed.
-		o.pred.Insert(cluster.Sample{Point: x, Plan: pred.Plan, Cost: observed})
-		o.selfLabeled++
+		float64(o.selfLabeled.Load()) < o.cfg.PositiveRatio*float64(o.validated.Load()) {
+		o.deliver(o.feedback(x, pred.Plan, observed, true), sink)
 		d.PositiveInsertion = true
 	}
 	o.est.RecordPrediction(pred.Plan, correct)
@@ -316,37 +400,116 @@ func (o *Online) Step(x []float64) (Decision, error) {
 	return d, nil
 }
 
-// optimizeAndLearn invokes the optimizer at x and inserts the labeled point.
-func (o *Online) optimizeAndLearn(x []float64) (int, float64, error) {
-	plan, cost, err := o.env.Optimize(x)
+// optimizeAndDeliver invokes the optimizer at x and routes the labeled
+// point to the sink (inline apply when sink is nil).
+func (o *Online) optimizeAndDeliver(x []float64, env Environment, sink FeedbackSink) (int, error) {
+	plan, cost, err := env.Optimize(x)
 	if err != nil {
-		return 0, 0, fmt.Errorf("core: optimize at %v: %w", x, err)
+		return 0, fmt.Errorf("core: optimize at %v: %w", x, err)
 	}
-	o.pred.Insert(cluster.Sample{Point: x, Plan: plan, Cost: cost})
-	o.validated++
-	return plan, cost, nil
+	o.deliver(o.feedback(x, plan, cost, false), sink)
+	return plan, nil
 }
 
-// LearnValidated inserts an optimizer-validated labeled point directly,
-// bypassing the prediction protocol. Degraded-mode callers (circuit breaker
-// open, every query routed straight to the optimizer) use it to keep
-// retraining the quarantined learner so half-open probes can succeed.
-// A dimensionality mismatch is reported as an error — a dropped retraining
-// point must be observable, not silent.
-func (o *Online) LearnValidated(x []float64, plan int, cost float64) error {
-	if len(x) != o.cfg.Core.Dims {
-		return fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
+// feedback builds an owned, epoch-stamped feedback point.
+func (o *Online) feedback(x []float64, plan int, cost float64, selfLabeled bool) Feedback {
+	pt := make([]float64, len(x))
+	copy(pt, x)
+	return Feedback{Point: pt, Plan: plan, Cost: cost, SelfLabeled: selfLabeled, Epoch: o.resets.Load()}
+}
+
+func (o *Online) deliver(fb Feedback, sink FeedbackSink) {
+	if sink == nil {
+		o.Apply(fb)
+		return
 	}
-	o.pred.Insert(cluster.Sample{Point: x, Plan: plan, Cost: cost})
-	o.validated++
+	sink.Deliver(fb)
+}
+
+// ValidatedFeedback builds an optimizer-validated feedback point for x,
+// checking dimensionality. Degraded-mode callers (circuit breaker open)
+// use it to keep retraining the quarantined learner through the sink.
+func (o *Online) ValidatedFeedback(x []float64, plan int, cost float64) (Feedback, error) {
+	if len(x) != o.cfg.Core.Dims {
+		return Feedback{}, fmt.Errorf("core: point has %d coordinates, driver expects %d", len(x), o.cfg.Core.Dims)
+	}
+	return o.feedback(x, plan, cost, false), nil
+}
+
+// LearnValidated inserts an optimizer-validated labeled point synchronously,
+// bypassing the prediction protocol. A dimensionality mismatch is reported
+// as an error — a dropped retraining point must be observable, not silent.
+func (o *Online) LearnValidated(x []float64, plan int, cost float64) error {
+	fb, err := o.ValidatedFeedback(x, plan, cost)
+	if err != nil {
+		return err
+	}
+	o.Apply(fb)
 	return nil
+}
+
+// Apply inserts one feedback point into the live synopsis and publishes a
+// fresh snapshot. It returns false (and counts a stale drop) when the
+// point's epoch predates the current drift-reset epoch. Safe for concurrent
+// use; writers serialize on the learner lock.
+func (o *Online) Apply(fb Feedback) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ok := o.applyLocked(fb)
+	if ok {
+		o.publishLocked()
+	}
+	return ok
+}
+
+// ApplyBatch applies a batch of feedback points and publishes at most one
+// snapshot, amortizing the copy-on-write cost over the whole batch.
+func (o *Online) ApplyBatch(batch []Feedback) (applied, dropped int) {
+	if len(batch) == 0 {
+		return 0, 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, fb := range batch {
+		if o.applyLocked(fb) {
+			applied++
+		} else {
+			dropped++
+		}
+	}
+	if applied > 0 {
+		o.publishLocked()
+	}
+	return applied, dropped
+}
+
+func (o *Online) applyLocked(fb Feedback) bool {
+	if fb.Epoch != o.resets.Load() {
+		o.staleDrops.Add(1)
+		return false
+	}
+	o.pred.Insert(cluster.Sample{Point: fb.Point, Plan: fb.Plan, Cost: fb.Cost})
+	if fb.SelfLabeled {
+		o.selfLabeled.Add(1)
+	} else {
+		o.validated.Add(1)
+	}
+	return true
+}
+
+// publishLocked freezes the live synopsis and publishes it. Callers hold mu.
+func (o *Online) publishLocked() {
+	o.snap.Store(o.pred.Freeze())
+	o.publishes.Add(1)
 }
 
 // SetFaults attaches a fault injector (nil disables injection).
 func (o *Online) SetFaults(inj *faults.Injector) { o.faults = inj }
 
 // maybeReset performs drift recovery when the estimated precision over a
-// full window drops below the floor.
+// full window drops below the floor. The cheap checks run lock-free; the
+// reset itself re-verifies under the learner lock so concurrent steps
+// cannot double-reset on the same window.
 func (o *Online) maybeReset(d *Decision) {
 	if o.cfg.PrecisionFloor <= 0 {
 		return
@@ -355,54 +518,83 @@ func (o *Online) maybeReset(d *Decision) {
 		return
 	}
 	prec, ok := o.est.Precision()
-	if !ok {
+	if !ok || prec >= o.cfg.PrecisionFloor {
 		return
 	}
-	if prec < o.cfg.PrecisionFloor {
-		o.pred.Reset()
-		o.est.Reset()
-		o.resets++
-		d.Reset = true
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.est.SampleCount() < o.cfg.WindowK {
+		return
 	}
+	prec, ok = o.est.Precision()
+	if !ok || prec >= o.cfg.PrecisionFloor {
+		return
+	}
+	o.pred.Reset()
+	o.est.Reset()
+	o.resets.Add(1)
+	o.publishLocked()
+	d.Reset = true
 }
 
-// Predictor exposes the underlying histogram predictor (for inspection).
+// Model returns the current published snapshot. Lock-free; the returned
+// model is immutable and safe to read from any goroutine.
+func (o *Online) Model() *Model { return o.snap.Load() }
+
+// Predictor exposes the underlying live histogram predictor (for
+// inspection). Callers must not race it with concurrent steps — serial
+// harnesses (the experiments) are its intended audience.
 func (o *Online) Predictor() *ApproxLSHHist { return o.pred }
 
 // Estimator exposes the sliding-window estimators (Section IV-E).
 func (o *Online) Estimator() *metrics.TemplateEstimator { return o.est }
 
 // Resets returns how many drift recoveries have occurred.
-func (o *Online) Resets() int { return o.resets }
+func (o *Online) Resets() int { return int(o.resets.Load()) }
+
+// Epoch returns the current drift-reset epoch (the value stamped into new
+// feedback points).
+func (o *Online) Epoch() int64 { return o.resets.Load() }
+
+// Publishes returns how many model snapshots have been published.
+func (o *Online) Publishes() int64 { return o.publishes.Load() }
+
+// StaleFeedbackDrops returns how many feedback points were discarded
+// because a drift reset intervened between creation and application.
+func (o *Online) StaleFeedbackDrops() int64 { return o.staleDrops.Load() }
 
 // Steps returns the lifetime number of Step calls that passed validation
 // (including steps that later failed in the Environment).
-func (o *Online) Steps() int { return o.steps }
+func (o *Online) Steps() int { return int(o.steps.Load()) }
 
 // NullPredictions returns the lifetime number of steps whose prediction
 // was NULL (warm-up, low confidence, or noise elimination).
-func (o *Online) NullPredictions() int { return o.nulls }
+func (o *Online) NullPredictions() int { return int(o.nulls.Load()) }
 
 // SelfLabeled returns how many points entered the histograms through
 // positive feedback (0 unless the extension is enabled).
-func (o *Online) SelfLabeled() int { return o.selfLabeled }
+func (o *Online) SelfLabeled() int { return int(o.selfLabeled.Load()) }
 
 // Validated returns how many optimizer-validated points were inserted.
-func (o *Online) Validated() int { return o.validated }
+func (o *Online) Validated() int { return int(o.validated.Load()) }
 
 // EncodeState persists the driver's learned state (the histogram synopsis
 // and insertion counters) to w. The sliding estimator windows are
 // deliberately not persisted — after a restart the framework re-estimates
-// precision from fresh predictions.
+// precision from fresh predictions. Callers that feed the driver through an
+// asynchronous sink must drain it first so queued feedback is included.
 func (o *Online) EncodeState(w io.Writer) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if err := o.pred.Encode(w); err != nil {
 		return err
 	}
-	return binary.Write(w, binary.LittleEndian, []int64{int64(o.validated), int64(o.selfLabeled)})
+	return binary.Write(w, binary.LittleEndian, []int64{o.validated.Load(), o.selfLabeled.Load()})
 }
 
-// DecodeState restores a driver state written by EncodeState. The restored
-// predictor must match this driver's plan space dimensionality.
+// DecodeState restores a driver state written by EncodeState and publishes
+// the restored model. The restored predictor must match this driver's plan
+// space dimensionality.
 func (o *Online) DecodeState(r io.Reader) error {
 	pred, err := DecodeApproxLSHHist(r)
 	if err != nil {
@@ -416,9 +608,12 @@ func (o *Online) DecodeState(r io.Reader) error {
 	if err := binary.Read(r, binary.LittleEndian, counters[:]); err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.pred = pred
-	o.validated = int(counters[0])
-	o.selfLabeled = int(counters[1])
+	o.validated.Store(counters[0])
+	o.selfLabeled.Store(counters[1])
 	o.est.Reset()
+	o.publishLocked()
 	return nil
 }

@@ -28,6 +28,13 @@ type Dynamic struct {
 	maxBuckets int
 	lo, hi     float64
 	minDepth   float64 // never split a bucket below this count
+
+	// gen counts mutations (Insert/Reset); frozen caches the immutable view
+	// published at frozenGen so Freeze is a pointer return for histograms
+	// untouched since the last publication.
+	gen       uint64
+	frozen    *Histogram
+	frozenGen uint64
 }
 
 // NewDynamic creates a dynamic histogram over the domain [lo, hi) with at
@@ -58,6 +65,7 @@ func MustNewDynamic(maxBuckets int, lo, hi float64) *Dynamic {
 func (d *Dynamic) Reset() {
 	d.buckets = []Bucket{{Lo: d.lo, Hi: d.hi}}
 	d.total = 0
+	d.gen++
 }
 
 // MaxBuckets returns the configured bucket budget.
@@ -90,6 +98,7 @@ func (d *Dynamic) Insert(value, cost float64) {
 	d.buckets[i].Count++
 	d.buckets[i].CostSum += cost
 	d.total++
+	d.gen++
 	d.maybeSplit(i)
 }
 
@@ -179,4 +188,19 @@ func (d *Dynamic) Snapshot() *Histogram {
 	bs := make([]Bucket, len(d.buckets))
 	copy(bs, d.buckets)
 	return &Histogram{buckets: bs, total: d.total}
+}
+
+// Freeze returns an immutable view of the current contents. Consecutive
+// calls without an intervening mutation return the SAME *Histogram, so a
+// copy-on-write publisher pays the bucket-slice copy only for the
+// histograms actually touched since its last publication — publish cost is
+// proportional to buckets written, not to model size. The returned
+// Histogram is never mutated afterwards and is safe to share across
+// goroutines.
+func (d *Dynamic) Freeze() *Histogram {
+	if d.frozen == nil || d.frozenGen != d.gen {
+		d.frozen = d.Snapshot()
+		d.frozenGen = d.gen
+	}
+	return d.frozen
 }

@@ -1,0 +1,50 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Freeze caches the immutable snapshot across unmutated generations: two
+// Freeze calls without an intervening write return the identical pointer,
+// and any Insert or Reset invalidates the cache. The frozen histogram must
+// also be a faithful snapshot — equal to Snapshot taken at the same moment
+// — and stay unchanged while the live histogram moves on.
+func TestFreezeCaching(t *testing.T) {
+	d, err := NewDynamic(16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		d.Insert(rng.Float64(), rng.Float64()*10)
+	}
+
+	f1 := d.Freeze()
+	if f2 := d.Freeze(); f2 != f1 {
+		t.Fatal("Freeze without mutation rebuilt the snapshot")
+	}
+	want := d.Snapshot()
+	if f1.TotalCount() != want.TotalCount() || len(f1.Buckets()) != len(want.Buckets()) {
+		t.Fatalf("frozen view (total %v, %d buckets) != snapshot (total %v, %d buckets)",
+			f1.TotalCount(), len(f1.Buckets()), want.TotalCount(), len(want.Buckets()))
+	}
+
+	total := f1.TotalCount()
+	d.Insert(0.5, 5)
+	if f1.TotalCount() != total {
+		t.Error("frozen histogram changed after a live Insert")
+	}
+	f3 := d.Freeze()
+	if f3 == f1 {
+		t.Fatal("Freeze after Insert returned the stale snapshot")
+	}
+	if f3.TotalCount() != total+1 {
+		t.Errorf("re-frozen total = %v, want %v", f3.TotalCount(), total+1)
+	}
+
+	d.Reset()
+	if f4 := d.Freeze(); f4 == f3 {
+		t.Fatal("Freeze after Reset returned the stale snapshot")
+	}
+}

@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Circuit breaker for one template's online learner. The PPC stance is the
 // same as Kepler's for learned parametric optimization: a misbehaving
@@ -78,23 +81,28 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
-// Breaker is the per-template circuit breaker. Unlike TemplateEstimator it
-// is not internally synchronized: every breaker belongs to exactly one
-// template and the System serializes access under that template's lock.
+// Breaker is the per-template circuit breaker. It is lock-free: state lives
+// in an atomic and transitions happen by compare-and-swap, so Allow sits on
+// the lock-free serving path without reintroducing the per-template mutex.
+// Under concurrent races the counters are conservative — a request that
+// loses a transition race is served degraded rather than stalled — and
+// single-threaded sequences behave exactly like the pre-atomic breaker.
 type Breaker struct {
-	cfg          BreakerConfig
-	state        BreakerState
-	consecFails  int
-	cooldownLeft int
-	probeWins    int
+	cfg BreakerConfig
+	// state holds a BreakerState; transitions are CAS-only so exactly one
+	// racer performs each one.
+	state        atomic.Int32
+	consecFails  atomic.Int64
+	cooldownLeft atomic.Int64
+	probeWins    atomic.Int64
 
-	trips          int
-	errorTrips     int
-	precisionTrips int
-	probes         int
-	failures       int
-	successes      int
-	degraded       int
+	trips          atomic.Int64
+	errorTrips     atomic.Int64
+	precisionTrips atomic.Int64
+	probes         atomic.Int64
+	failures       atomic.Int64
+	successes      atomic.Int64
+	degraded       atomic.Int64
 }
 
 // NewBreaker creates a closed breaker.
@@ -103,27 +111,30 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 }
 
 // State returns the current state.
-func (b *Breaker) State() BreakerState { return b.state }
+func (b *Breaker) State() BreakerState { return BreakerState(b.state.Load()) }
 
 // Allow reports whether the learner may serve this request. While open it
 // counts down the cooldown and returns false (degraded mode); once the
 // cooldown elapses the breaker turns half-open and admits probe traffic.
 func (b *Breaker) Allow() bool {
-	switch b.state {
+	switch BreakerState(b.state.Load()) {
 	case BreakerClosed:
 		return true
 	case BreakerOpen:
-		b.cooldownLeft--
-		if b.cooldownLeft > 0 {
-			b.degraded++
+		if b.cooldownLeft.Add(-1) > 0 {
+			b.degraded.Add(1)
 			return false
 		}
-		b.state = BreakerHalfOpen
-		b.probeWins = 0
-		b.probes++
-		return true
+		if b.state.CompareAndSwap(int32(BreakerOpen), int32(BreakerHalfOpen)) {
+			b.probeWins.Store(0)
+			b.probes.Add(1)
+			return true
+		}
+		// Lost the transition race; serve this request degraded.
+		b.degraded.Add(1)
+		return false
 	default: // BreakerHalfOpen
-		b.probes++
+		b.probes.Add(1)
 		return true
 	}
 }
@@ -131,13 +142,13 @@ func (b *Breaker) Allow() bool {
 // RecordSuccess reports a healthy learner interaction. Enough consecutive
 // successes in half-open state re-close the breaker.
 func (b *Breaker) RecordSuccess() {
-	b.successes++
-	b.consecFails = 0
-	if b.state == BreakerHalfOpen {
-		b.probeWins++
-		if b.probeWins >= b.cfg.ProbeSuccesses {
-			b.state = BreakerClosed
-			b.probeWins = 0
+	b.successes.Add(1)
+	b.consecFails.Store(0)
+	if BreakerState(b.state.Load()) == BreakerHalfOpen {
+		if b.probeWins.Add(1) >= int64(b.cfg.ProbeSuccesses) {
+			if b.state.CompareAndSwap(int32(BreakerHalfOpen), int32(BreakerClosed)) {
+				b.probeWins.Store(0)
+			}
 		}
 	}
 }
@@ -145,14 +156,14 @@ func (b *Breaker) RecordSuccess() {
 // RecordFailure reports a learner error. Reaching the consecutive-failure
 // threshold (or any failure while half-open) trips the breaker.
 func (b *Breaker) RecordFailure() {
-	b.failures++
-	b.consecFails++
-	switch b.state {
+	b.failures.Add(1)
+	n := b.consecFails.Add(1)
+	switch BreakerState(b.state.Load()) {
 	case BreakerHalfOpen:
-		b.trip(&b.errorTrips)
+		b.trip(BreakerHalfOpen, &b.errorTrips)
 	case BreakerClosed:
-		if b.consecFails >= b.cfg.FailureThreshold {
-			b.trip(&b.errorTrips)
+		if n >= int64(b.cfg.FailureThreshold) {
+			b.trip(BreakerClosed, &b.errorTrips)
 		}
 	}
 }
@@ -161,23 +172,29 @@ func (b *Breaker) RecordFailure() {
 // window trips a closed breaker. Returns true when this observation tripped
 // it, so the caller can drop the stale estimator evidence.
 func (b *Breaker) ObservePrecision(prec float64, samples int) bool {
-	if b.state != BreakerClosed || b.cfg.PrecisionFloor < 0 {
+	if BreakerState(b.state.Load()) != BreakerClosed || b.cfg.PrecisionFloor < 0 {
 		return false
 	}
 	if samples < b.cfg.PrecisionMinSamples || prec >= b.cfg.PrecisionFloor {
 		return false
 	}
-	b.trip(&b.precisionTrips)
-	return true
+	return b.trip(BreakerClosed, &b.precisionTrips)
 }
 
-func (b *Breaker) trip(cause *int) {
-	b.state = BreakerOpen
-	b.cooldownLeft = b.cfg.Cooldown
-	b.probeWins = 0
-	b.consecFails = 0
-	b.trips++
-	*cause++
+// trip moves the breaker from the observed state to open. The cooldown is
+// armed before the state flips so a racing Allow can never observe an open
+// breaker with a stale countdown. Returns true when this call won the
+// transition.
+func (b *Breaker) trip(from BreakerState, cause *atomic.Int64) bool {
+	b.cooldownLeft.Store(int64(b.cfg.Cooldown))
+	if !b.state.CompareAndSwap(int32(from), int32(BreakerOpen)) {
+		return false
+	}
+	b.probeWins.Store(0)
+	b.consecFails.Store(0)
+	b.trips.Add(1)
+	cause.Add(1)
+	return true
 }
 
 // BreakerSnapshot is a copyable view of the breaker's health counters.
@@ -195,13 +212,13 @@ type BreakerSnapshot struct {
 // Snapshot returns the current counters.
 func (b *Breaker) Snapshot() BreakerSnapshot {
 	return BreakerSnapshot{
-		State:          b.state.String(),
-		Trips:          b.trips,
-		ErrorTrips:     b.errorTrips,
-		PrecisionTrips: b.precisionTrips,
-		Probes:         b.probes,
-		Failures:       b.failures,
-		Successes:      b.successes,
-		DegradedSteps:  b.degraded,
+		State:          b.State().String(),
+		Trips:          int(b.trips.Load()),
+		ErrorTrips:     int(b.errorTrips.Load()),
+		PrecisionTrips: int(b.precisionTrips.Load()),
+		Probes:         int(b.probes.Load()),
+		Failures:       int(b.failures.Load()),
+		Successes:      int(b.successes.Load()),
+		DegradedSteps:  int(b.degraded.Load()),
 	}
 }

@@ -142,10 +142,23 @@ type TemplateObs struct {
 	breakerHalfOpens    atomic.Uint64
 	breakerRecloses     atomic.Uint64
 
+	// Feedback-pipeline health: points enqueued to the background applier,
+	// points applied synchronously because the mailbox was full or closed
+	// (deferred — never lost), points discarded as stale after a drift
+	// reset, apply-loop batches, and snapshot publications. queueDepth is a
+	// gauge sampled at snapshot time.
+	feedbackEnqueued  atomic.Uint64
+	feedbackDeferred  atomic.Uint64
+	feedbackDropped   atomic.Uint64
+	applyBatches      atomic.Uint64
+	snapshotPublishes atomic.Uint64
+	queueDepth        atomic.Int64
+
 	predict  Hist
 	optimize Hist
 	execute  Hist
 	degraded Hist
+	apply    Hist
 
 	ring *TraceRing
 }
@@ -211,6 +224,32 @@ func (t *TemplateObs) CountLearnerError() { t.learnerErrors.Add(1) }
 // rejected.
 func (t *TemplateObs) CountRetrainDrop() { t.retrainDrops.Add(1) }
 
+// CountFeedbackEnqueued records a feedback point handed to the background
+// applier's mailbox.
+func (t *TemplateObs) CountFeedbackEnqueued() { t.feedbackEnqueued.Add(1) }
+
+// CountFeedbackDeferred records a feedback point applied synchronously on
+// the serving goroutine because the mailbox was full or closed. Deferred
+// points are never lost — backpressure degrades latency, not durability.
+func (t *TemplateObs) CountFeedbackDeferred() { t.feedbackDeferred.Add(1) }
+
+// RecordApply ingests one apply batch: its latency, how many points entered
+// the synopsis (a publish happened when any did), and how many were
+// discarded as stale after a drift reset.
+func (t *TemplateObs) RecordApply(d time.Duration, applied, dropped int) {
+	t.applyBatches.Add(1)
+	t.apply.Record(d)
+	if applied > 0 {
+		t.snapshotPublishes.Add(1)
+	}
+	if dropped > 0 {
+		t.feedbackDropped.Add(uint64(dropped))
+	}
+}
+
+// SetQueueDepth records the mailbox depth gauge (sampled by snapshots).
+func (t *TemplateObs) SetQueueDepth(n int) { t.queueDepth.Store(int64(n)) }
+
 // BreakerTransition counts a circuit breaker state edge; a no-op when the
 // state did not change.
 func (t *TemplateObs) BreakerTransition(prev, cur metrics.BreakerState) {
@@ -259,6 +298,16 @@ type CounterSnapshot struct {
 	BreakerOpens     uint64 `json:"breaker_opens"`
 	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
 	BreakerRecloses  uint64 `json:"breaker_recloses"`
+	// Feedback-pipeline counters: enqueued to the background applier,
+	// deferred to a synchronous apply under backpressure, dropped as stale
+	// after a drift reset, apply batches, snapshot publications, and the
+	// mailbox depth gauge at snapshot time.
+	FeedbackEnqueued  uint64 `json:"feedback_enqueued"`
+	FeedbackDeferred  uint64 `json:"feedback_deferred"`
+	FeedbackDropped   uint64 `json:"feedback_dropped"`
+	ApplyBatches      uint64 `json:"apply_batches"`
+	SnapshotPublishes uint64 `json:"snapshot_publishes"`
+	QueueDepth        int64  `json:"feedback_queue_depth"`
 }
 
 // TemplateSnapshot is the JSON form of one template's metrics.
@@ -269,6 +318,7 @@ type TemplateSnapshot struct {
 	OptimizeLatency HistSnapshot    `json:"optimize_latency"`
 	ExecuteLatency  HistSnapshot    `json:"execute_latency"`
 	DegradedLatency HistSnapshot    `json:"degraded_latency"`
+	ApplyLatency    HistSnapshot    `json:"apply_latency"`
 }
 
 // Snapshot copies the template's counters and histograms.
@@ -292,10 +342,17 @@ func (t *TemplateObs) Snapshot() TemplateSnapshot {
 			BreakerOpens:         t.breakerOpens.Load(),
 			BreakerHalfOpens:     t.breakerHalfOpens.Load(),
 			BreakerRecloses:      t.breakerRecloses.Load(),
+			FeedbackEnqueued:     t.feedbackEnqueued.Load(),
+			FeedbackDeferred:     t.feedbackDeferred.Load(),
+			FeedbackDropped:      t.feedbackDropped.Load(),
+			ApplyBatches:         t.applyBatches.Load(),
+			SnapshotPublishes:    t.snapshotPublishes.Load(),
+			QueueDepth:           t.queueDepth.Load(),
 		},
 		PredictLatency:  t.predict.Snapshot(),
 		OptimizeLatency: t.optimize.Snapshot(),
 		ExecuteLatency:  t.execute.Snapshot(),
 		DegradedLatency: t.degraded.Snapshot(),
+		ApplyLatency:    t.apply.Snapshot(),
 	}
 }

@@ -98,14 +98,15 @@ func (s *System) LoadStateReport() *LoadReport {
 // SaveState writes the system's learned state to w in the framed,
 // checksummed snapshot format.
 //
-// Under the sharded locking scheme a snapshot of a live system is
-// per-template consistent, not globally atomic: each learner is encoded
-// under its own template lock while other templates keep serving. The plan
-// registry is append-only with dense ids, so collecting its fingerprints
-// AFTER the learners guarantees every plan id referenced by a synopsis is
-// present in the saved registry; a plan id whose tree is missing from the
-// saved cache simply re-optimizes on demand after restore, exactly like an
-// evicted plan.
+// Under the snapshot architecture a save of a live system is per-template
+// consistent, not globally atomic: each template's feedback mailbox is
+// flushed — so every point already acknowledged by Run is in the synopsis —
+// and its learner is then encoded under the learner's write lock while
+// other templates keep serving. The plan registry is append-only with dense
+// ids, so collecting its fingerprints AFTER the learners guarantees every
+// plan id referenced by a synopsis is present in the saved registry; a plan
+// id whose tree is missing from the saved cache simply re-optimizes on
+// demand after restore, exactly like an evicted plan.
 func (s *System) SaveState(w io.Writer) (err error) {
 	defer capturePanic("ppc.SaveState", &err)
 	out := savedSystem{DBScale: s.opts.TPCH.Scale, DBSeed: s.opts.TPCH.Seed}
@@ -119,9 +120,8 @@ func (s *System) SaveState(w io.Writer) (err error) {
 	for i, name := range names {
 		st := states[i]
 		var buf bytes.Buffer
-		st.mu.Lock()
+		st.flush()
 		encErr := st.online.EncodeState(&buf)
-		st.mu.Unlock()
 		if encErr != nil {
 			return &SnapshotError{Op: "save", Err: fmt.Errorf("template %s: %w", name, encErr)}
 		}
@@ -325,11 +325,14 @@ func decodeSnapshot(r io.Reader) (*savedSystem, string) {
 }
 
 // recreateLearnerLocked replaces a template's learner with a cold one
-// (used when its saved synopsis is corrupt). Callers hold s.regMu.
+// (used when its saved synopsis is corrupt). The old state's background
+// applier is stopped first so the re-registration cannot leak a goroutine.
+// Callers hold s.regMu.
 func (s *System) recreateLearnerLocked(name string) error {
 	st := s.templates[name]
 	tmpl := st.tmpl
 	sql := tmpl.SQL
+	st.shutdown()
 	delete(s.templates, name)
 	return s.registerLocked(name, sql)
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -85,6 +86,14 @@ type Options struct {
 	// synchronously on the serving goroutine: keep it fast and do not call
 	// back into the System from it.
 	TraceHook obsv.TraceHook
+	// FeedbackQueue bounds each template's feedback mailbox — the channel
+	// between the lock-free serving path and the background apply goroutine
+	// (default 256). When the mailbox is full, feedback is applied
+	// synchronously on the serving goroutine (counted as deferred; never
+	// dropped). Negative disables the background applier entirely: every
+	// feedback point applies inline before its Run returns, restoring
+	// strictly deterministic serial behaviour for experiments.
+	FeedbackQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,20 +129,25 @@ func (o Options) withDefaults() Options {
 }
 
 // System is an open PPC-enabled database instance. Safe for concurrent use
-// by multiple goroutines; queries against different templates proceed in
-// parallel.
+// by multiple goroutines; queries proceed in parallel both across templates
+// and against a single hot template — the learner decision is lock-free
+// (an immutable model snapshot read through an atomic pointer), and learned
+// feedback is applied by a per-template background goroutine.
 //
 // Lock hierarchy (see DESIGN.md "Concurrency architecture"; locks are
 // always acquired top to bottom, never in reverse):
 //
-//	regMu  > templateState.mu > cacheMu > TemplateEstimator.mu
+//	regMu  > core.Online.mu > cacheMu > TemplateEstimator.mu
 //
-// regMu guards the template registry map; each templateState.mu serializes
-// that template's learner, breaker and scratch buffers; cacheMu guards the
-// shared plan cache and the plan-id index; the estimator is an internally
-// synchronized leaf so cache eviction can score plans without any template
-// lock. The optimizer, executor, catalog and plan registry are read-only or
-// internally synchronized and are used outside all facade locks.
+// regMu guards the template registry map; each core.Online.mu serializes
+// that template's learner write path (feedback application, snapshot
+// publication, drift reset, state encode/decode) — the read path takes no
+// lock at all; cacheMu guards the shared plan cache and the plan-id index;
+// the estimator is an internally synchronized leaf so cache eviction can
+// score plans without any template lock. The circuit breaker and all health
+// counters are atomics. The optimizer, executor, catalog and plan registry
+// are read-only or internally synchronized and are used outside all facade
+// locks.
 type System struct {
 	db   *tpch.Database
 	cat  *catalog.Catalog
@@ -173,14 +187,23 @@ type cachedPlan struct {
 	plan  *optimizer.Plan
 }
 
-// templateState is one template's serving state. Its mutex serializes the
-// learner protocol (Step/LearnValidated, including the predictor's scratch
-// buffers), the circuit breaker, and the health counters. The tmpl field is
-// immutable after construction and may be read without the lock.
+// applyBatchMax bounds how many queued feedback points one apply batch
+// absorbs before publishing a snapshot, bounding publish latency under a
+// flood.
+const applyBatchMax = 64
+
+// defaultFeedbackQueue is the mailbox capacity when Options.FeedbackQueue
+// is zero.
+const defaultFeedbackQueue = 256
+
+// templateState is one template's serving state. It holds no mutex: the
+// learner decision runs lock-free on the published model snapshot, the
+// breaker and health counters are atomics, and feedback flows through the
+// bounded mailbox to the template's background apply goroutine. The tmpl,
+// env, breaker, obs and channel fields are immutable after registration.
 type templateState struct {
 	tmpl *optimizer.Template
 
-	mu     sync.Mutex
 	online *core.Online
 	env    *planEnv
 	// breaker quarantines the learner when it misbehaves (nil when
@@ -190,14 +213,168 @@ type templateState struct {
 	// learnerErrs counts Step errors; degradedRuns counts runs served in
 	// always-invoke-the-optimizer mode; retrainDrops counts degraded-mode
 	// retraining points the learner rejected (dimensionality mismatch).
-	learnerErrs  int
-	degradedRuns int
-	retrainDrops int
+	learnerErrs  atomic.Int64
+	degradedRuns atomic.Int64
+	retrainDrops atomic.Int64
+
+	// mail is the bounded feedback mailbox drained by applyLoop (nil when
+	// Options.FeedbackQueue < 0 — synchronous mode). stop asks the applier
+	// to drain and exit; applyDone closes when it has. closed flags the
+	// mailbox as closing so Deliver falls back to synchronous apply.
+	mail      chan feedbackMsg
+	stop      chan struct{}
+	applyDone chan struct{}
+	closeOnce sync.Once
+	closed    atomic.Bool
 
 	// obs is this template's metrics (immutable pointer, set before the
 	// state is published; the counters themselves are atomics and need no
 	// lock).
 	obs *obsv.TemplateObs
+}
+
+// feedbackMsg is one mailbox message: a feedback point, or (when flush is
+// non-nil) a flush token the applier closes once everything queued before
+// it has been applied.
+type feedbackMsg struct {
+	fb    core.Feedback
+	flush chan struct{}
+}
+
+// Deliver implements core.FeedbackSink: hand the point to the background
+// applier, or — when the mailbox is full, closed or absent — apply it
+// synchronously on the serving goroutine. Backpressure degrades latency,
+// never durability: a validated point is never silently dropped.
+func (st *templateState) Deliver(fb core.Feedback) {
+	if st.mail != nil && !st.closed.Load() {
+		select {
+		case st.mail <- feedbackMsg{fb: fb}:
+			st.obs.CountFeedbackEnqueued()
+			return
+		default:
+		}
+	}
+	st.obs.CountFeedbackDeferred()
+	t0 := time.Now()
+	applied, dropped := 1, 0
+	if !st.online.Apply(fb) {
+		applied, dropped = 0, 1
+	}
+	st.obs.RecordApply(time.Since(t0), applied, dropped)
+}
+
+// applyLoop is the template's background learner: it drains the mailbox in
+// batches (publishing one snapshot per batch) until stop closes, then
+// drains whatever is left and exits.
+func (st *templateState) applyLoop() {
+	defer close(st.applyDone)
+	batch := make([]core.Feedback, 0, applyBatchMax)
+	flushes := make([]chan struct{}, 0, 4)
+	for {
+		select {
+		case msg := <-st.mail:
+			batch, flushes = st.collect(msg, batch[:0], flushes[:0])
+			st.applyBatch(batch, flushes)
+		case <-st.stop:
+			st.drainMailbox(batch[:0], flushes[:0])
+			return
+		}
+	}
+}
+
+// collect gathers one batch: the triggering message plus whatever else is
+// immediately available, up to applyBatchMax points.
+func (st *templateState) collect(msg feedbackMsg, batch []core.Feedback, flushes []chan struct{}) ([]core.Feedback, []chan struct{}) {
+	for {
+		if msg.flush != nil {
+			flushes = append(flushes, msg.flush)
+		} else {
+			batch = append(batch, msg.fb)
+		}
+		if len(batch) >= applyBatchMax {
+			return batch, flushes
+		}
+		select {
+		case msg = <-st.mail:
+		default:
+			return batch, flushes
+		}
+	}
+}
+
+// applyBatch applies the batch (one snapshot publication) and then releases
+// the flush tokens — the mailbox is FIFO, so a token completes only after
+// every point enqueued before it is in the synopsis.
+func (st *templateState) applyBatch(batch []core.Feedback, flushes []chan struct{}) {
+	if len(batch) > 0 {
+		t0 := time.Now()
+		applied, dropped := st.online.ApplyBatch(batch)
+		st.obs.RecordApply(time.Since(t0), applied, dropped)
+	}
+	for _, f := range flushes {
+		close(f)
+	}
+}
+
+// drainMailbox empties the mailbox without blocking and applies what it
+// finds. Called by the exiting applier, and inline by flushers/shutdown
+// once the applier is gone (concurrent inline drains are safe — ApplyBatch
+// serializes on the learner lock and competing receives just split the
+// backlog).
+func (st *templateState) drainMailbox(batch []core.Feedback, flushes []chan struct{}) {
+	for {
+		select {
+		case msg := <-st.mail:
+			if msg.flush != nil {
+				flushes = append(flushes, msg.flush)
+			} else {
+				batch = append(batch, msg.fb)
+			}
+		default:
+			st.applyBatch(batch, flushes)
+			return
+		}
+	}
+}
+
+// flush blocks until every feedback point enqueued before the call has been
+// applied to the synopsis, linearizing the caller with the background
+// applier. Readers of learned state (stats, metrics, SaveState) flush first
+// so they observe a model equivalent to all acknowledged feedback. No-op in
+// synchronous mode; safe during and after shutdown (drains inline).
+func (st *templateState) flush() {
+	if st.mail == nil {
+		return
+	}
+	done := make(chan struct{})
+	select {
+	case st.mail <- feedbackMsg{flush: done}:
+	case <-st.applyDone:
+		st.drainMailbox(nil, nil)
+		return
+	}
+	select {
+	case <-done:
+	case <-st.applyDone:
+		// The applier exited between enqueue and completion; its final
+		// drain may or may not have seen the token — drain inline either
+		// way (closing an already-closed token cannot happen: exactly one
+		// drain receives it from the FIFO mailbox).
+		st.drainMailbox(nil, nil)
+	}
+}
+
+// shutdown stops the background applier after draining the mailbox.
+// Idempotent; subsequent Delivers apply synchronously.
+func (st *templateState) shutdown() {
+	if st.mail == nil {
+		return
+	}
+	st.closed.Store(true)
+	st.closeOnce.Do(func() { close(st.stop) })
+	<-st.applyDone
+	// Recover any message that raced past the closed flag.
+	st.drainMailbox(nil, nil)
 }
 
 // Open generates the database, builds statistics, and initializes the
@@ -291,7 +468,33 @@ func (s *System) registerLocked(name, sql string) error {
 	if !s.opts.DisableBreaker {
 		st.breaker = metrics.NewBreaker(s.opts.Breaker)
 	}
+	if s.opts.FeedbackQueue >= 0 {
+		q := s.opts.FeedbackQueue
+		if q == 0 {
+			q = defaultFeedbackQueue
+		}
+		st.mail = make(chan feedbackMsg, q)
+		st.stop = make(chan struct{})
+		st.applyDone = make(chan struct{})
+		go st.applyLoop()
+	}
 	s.templates[name] = st
+	return nil
+}
+
+// Close stops every template's background apply goroutine after draining
+// its mailbox. The System stays usable — subsequent Runs apply feedback
+// synchronously on the serving goroutine — and Close is idempotent.
+func (s *System) Close() error {
+	s.regMu.RLock()
+	states := make([]*templateState, 0, len(s.templates))
+	for _, st := range s.templates {
+		states = append(states, st)
+	}
+	s.regMu.RUnlock()
+	for _, st := range states {
+		st.shutdown()
+	}
 	return nil
 }
 
@@ -395,10 +598,12 @@ type RunResult struct {
 // succeeds with a correct result or returns a typed error — a misbehaving
 // learner alone can never fail a query.
 //
-// Concurrency: Run holds its template's lock only for the learner decision;
-// instantiation, optimization, plan rebinding and execution happen outside
-// it, and the shared cache is touched only briefly under its own lock — so
-// runs against different templates proceed in parallel.
+// Concurrency: the learner decision is lock-free — it predicts on the
+// template's published model snapshot and queues feedback to a background
+// applier — so runs proceed in parallel both across templates and against
+// one hot template. Instantiation, optimization, plan rebinding and
+// execution happen outside all facade locks; the shared cache is touched
+// only briefly under its own lock.
 func (s *System) Run(template string, values []float64) (res *RunResult, err error) {
 	defer capturePanic("ppc.Run", &err)
 	st, err := s.lookup(template)
@@ -480,13 +685,11 @@ func (s *System) observeRun(st *templateState, res *RunResult) {
 	}
 }
 
-// decide runs the learner protocol under the template lock and reports
-// whether the run must fall back to degraded (always-invoke-the-optimizer)
-// mode. A learner error is absorbed here: it trips the breaker and degrades
-// this run instead of failing the query.
+// decide runs the learner protocol — lock-free on the template's published
+// model snapshot — and reports whether the run must fall back to degraded
+// (always-invoke-the-optimizer) mode. A learner error is absorbed here: it
+// trips the breaker and degrades this run instead of failing the query.
 func (s *System) decide(st *templateState, res *RunResult, point []float64) (degraded bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.breaker != nil {
 		prev := st.breaker.State()
 		allowed := st.breaker.Allow()
@@ -495,9 +698,11 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 			return true
 		}
 	}
-	st.env.lastOptTime = 0
+	// Each run times its own optimizer work through a private wrapper, so
+	// concurrent runs on one template cannot cross-contaminate accounting.
+	env := &runEnv{env: st.env}
 	t0 := time.Now()
-	decision, lerr := st.online.Step(point)
+	decision, lerr := st.online.StepConcurrent(point, env, st)
 	decide := time.Since(t0)
 	if lerr != nil {
 		// Learner-path failure: count it, trip the breaker toward
@@ -509,14 +714,13 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 		// which runDegraded extends) and mark the run degraded-by-error
 		// so traces and metrics can tell this fallback from an
 		// already-open breaker.
-		st.learnerErrs++
+		st.learnerErrs.Add(1)
 		st.obs.CountLearnerError()
-		res.PredictTime = decide - st.env.lastOptTime
+		res.PredictTime = decide - env.optTime
 		if res.PredictTime < 0 {
 			res.PredictTime = 0
 		}
-		res.OptimizeTime = st.env.lastOptTime
-		st.env.lastOptTime = 0
+		res.OptimizeTime = env.optTime
 		res.DegradedByError = true
 		if st.breaker != nil {
 			prev := st.breaker.State()
@@ -532,9 +736,10 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 		if prec, ok := st.online.Estimator().Precision(); ok {
 			prev = st.breaker.State()
 			if st.breaker.ObservePrecision(prec, st.online.Estimator().SampleCount()) {
-				// Precision collapse tripped the breaker: drop the
-				// stale window so recovery is judged on fresh
-				// evidence once probes resume.
+				// Precision collapse tripped the breaker (the CAS admits
+				// exactly one winner under races): drop the stale window
+				// so recovery is judged on fresh evidence once probes
+				// resume.
 				st.online.Estimator().Reset()
 			}
 			st.obs.BreakerTransition(prev, st.breaker.State())
@@ -547,19 +752,18 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 	res.RandomInvocation = decision.RandomInvocation
 	res.FeedbackCorrection = decision.FeedbackCorrection
 	res.DriftReset = decision.Reset
-	res.PredictTime = decide - st.env.lastOptTime
+	res.PredictTime = decide - env.optTime
 	if res.PredictTime < 0 {
 		res.PredictTime = 0
 	}
-	res.OptimizeTime = st.env.lastOptTime
-	st.env.lastOptTime = 0
+	res.OptimizeTime = env.optTime
 	return false
 }
 
 // runDegraded serves a run in always-invoke-the-optimizer mode: the same
 // plan (and answer) a system without a plan cache would produce. The
-// optimizer call happens outside all locks; only the retraining insertion
-// re-acquires the template lock.
+// optimizer call happens outside all locks; the retraining point flows
+// through the same feedback pipeline as healthy runs.
 func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.Instance, point []float64) error {
 	res.Degraded = true
 	t1 := time.Now()
@@ -571,16 +775,17 @@ func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.I
 	res.Invoked = true
 	res.CacheHit = false
 	res.PlanID = s.internPlan(st, plan)
+	st.degradedRuns.Add(1)
 	// The validated label still feeds the quarantined learner so it
 	// retrains while degraded. A rejected point (dimensionality mismatch)
 	// is counted rather than silently dropped.
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.degradedRuns++
-	if lerr := st.online.LearnValidated(point, res.PlanID, plan.Cost); lerr != nil {
-		st.retrainDrops++
+	fb, lerr := st.online.ValidatedFeedback(point, res.PlanID, plan.Cost)
+	if lerr != nil {
+		st.retrainDrops.Add(1)
 		st.obs.CountRetrainDrop()
+		return nil
 	}
+	st.Deliver(fb)
 	return nil
 }
 
@@ -680,21 +885,23 @@ type Stats struct {
 	Resets          int
 }
 
-// TemplateStats reports the online learner's state for one template.
+// TemplateStats reports the online learner's state for one template. It
+// flushes the template's feedback mailbox first, so the reported synopsis
+// reflects every point already acknowledged by Run.
 func (s *System) TemplateStats(template string) (out Stats, err error) {
 	defer capturePanic("ppc.TemplateStats", &err)
 	st, err := s.lookup(template)
 	if err != nil {
 		return Stats{}, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.flush()
+	model := st.online.Model()
 	est := st.online.Estimator()
 	out = Stats{
 		Template:        template,
 		Degree:          st.tmpl.Degree(),
-		SamplesAbsorbed: st.online.Predictor().TotalPoints(),
-		SynopsisBytes:   st.online.Predictor().MemoryBytes(),
+		SamplesAbsorbed: model.TotalPoints(),
+		SynopsisBytes:   model.MemoryBytes(),
 		Resets:          st.online.Resets(),
 	}
 	out.Precision, out.PrecisionKnown = est.Precision()
@@ -728,13 +935,11 @@ func (s *System) TemplateHealth(template string) (h Health, err error) {
 	if err != nil {
 		return Health{}, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	h = Health{
 		Template:      template,
-		LearnerErrors: st.learnerErrs,
-		DegradedRuns:  st.degradedRuns,
-		RetrainDrops:  st.retrainDrops,
+		LearnerErrors: int(st.learnerErrs.Load()),
+		DegradedRuns:  int(st.degradedRuns.Load()),
+		RetrainDrops:  int(st.retrainDrops.Load()),
 	}
 	if st.breaker != nil {
 		h.BreakerEnabled = true
@@ -762,6 +967,11 @@ type LearnerMetrics struct {
 	Validated   int `json:"validated_points"`
 	SelfLabeled int `json:"self_labeled_points"`
 	Resets      int `json:"drift_resets"`
+	// SnapshotPublishes counts immutable model publications;
+	// StaleFeedbackDrops counts feedback discarded because a drift reset
+	// intervened between its creation and its application.
+	SnapshotPublishes  int64 `json:"snapshot_publishes"`
+	StaleFeedbackDrops int64 `json:"stale_feedback_drops"`
 	// WindowSamples is the number of predictions in the sliding window.
 	WindowSamples  int     `json:"window_samples"`
 	Precision      float64 `json:"precision"`
@@ -803,10 +1013,11 @@ type MetricsSnapshot struct {
 	Cache     CacheMetrics      `json:"cache"`
 }
 
-// MetricsSnapshot assembles the current metrics across all templates. The
-// counters are atomics read without any lock; each template's learner and
-// breaker are read under that template's lock, one template at a time, so
-// a snapshot never stalls the whole serving path.
+// MetricsSnapshot assembles the current metrics across all templates. Each
+// template's feedback mailbox is flushed (and its depth gauge sampled just
+// before the flush) so the learner numbers reflect every point already
+// acknowledged by Run; all counters are atomics read without any lock, so a
+// snapshot never stalls the serving path.
 func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
 	defer capturePanic("ppc.MetricsSnapshot", &err)
 	snap.Schema = MetricsSnapshotSchema
@@ -821,21 +1032,25 @@ func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
 	sort.Strings(names)
 	for _, name := range names {
 		st := states[name]
+		st.obs.SetQueueDepth(len(st.mail))
+		st.flush()
 		tm := TemplateMetrics{
 			TemplateSnapshot: st.obs.Snapshot(),
 			Degree:           st.tmpl.Degree(),
 		}
-		st.mu.Lock()
 		est := st.online.Estimator()
+		model := st.online.Model()
 		tm.Learner = LearnerMetrics{
-			Steps:           st.online.Steps(),
-			NullPredictions: st.online.NullPredictions(),
-			SamplesAbsorbed: st.online.Predictor().TotalPoints(),
-			SynopsisBytes:   st.online.Predictor().MemoryBytes(),
-			Validated:       st.online.Validated(),
-			SelfLabeled:     st.online.SelfLabeled(),
-			Resets:          st.online.Resets(),
-			WindowSamples:   est.SampleCount(),
+			Steps:              st.online.Steps(),
+			NullPredictions:    st.online.NullPredictions(),
+			SamplesAbsorbed:    model.TotalPoints(),
+			SynopsisBytes:      model.MemoryBytes(),
+			Validated:          st.online.Validated(),
+			SelfLabeled:        st.online.SelfLabeled(),
+			Resets:             st.online.Resets(),
+			SnapshotPublishes:  st.online.Publishes(),
+			StaleFeedbackDrops: st.online.StaleFeedbackDrops(),
+			WindowSamples:      est.SampleCount(),
 		}
 		tm.Learner.Precision, tm.Learner.PrecisionKnown = est.Precision()
 		tm.Learner.Recall, tm.Learner.RecallKnown = est.Recall()
@@ -844,7 +1059,6 @@ func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
 			tm.BreakerEnabled = true
 			tm.Breaker = st.breaker.Snapshot()
 		}
-		st.mu.Unlock()
 		snap.Templates = append(snap.Templates, tm)
 	}
 	s.cacheMu.RLock()
@@ -893,20 +1107,19 @@ func (s *System) planPrecision(planID int) (float64, bool) {
 }
 
 // planEnv adapts the optimizer to the learner's Environment interface for
-// one template. Its methods are called from Online.Step with the owning
-// template's lock held; they take cacheMu for the shared cache, consistent
-// with the lock hierarchy.
+// one template. It is stateless per call and shared by all of the
+// template's concurrent runs; each run wraps it in a private runEnv to time
+// its own optimizer work. Its methods take cacheMu for the shared cache,
+// consistent with the lock hierarchy.
 type planEnv struct {
-	sys         *System
-	tmpl        *optimizer.Template
-	st          *templateState
-	lastOptTime time.Duration
+	sys  *System
+	tmpl *optimizer.Template
+	st   *templateState
 }
 
 // Optimize implements core.Environment: invoke the real optimizer at plan
 // space point x, intern the plan, and cache it.
 func (e *planEnv) Optimize(x []float64) (int, float64, error) {
-	t0 := time.Now()
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
 		return 0, 0, err
@@ -915,8 +1128,29 @@ func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	e.lastOptTime += time.Since(t0)
 	return e.sys.internPlan(e.st, plan), plan.Cost, nil
+}
+
+// runEnv wraps a template's planEnv for one Run, accumulating the wall time
+// of successful optimizer calls so decide can split the step's latency into
+// predict and optimize components without shared mutable state.
+type runEnv struct {
+	env     *planEnv
+	optTime time.Duration
+}
+
+func (e *runEnv) Optimize(x []float64) (int, float64, error) {
+	t0 := time.Now()
+	plan, cost, err := e.env.Optimize(x)
+	if err != nil {
+		return plan, cost, err
+	}
+	e.optTime += time.Since(t0)
+	return plan, cost, nil
+}
+
+func (e *runEnv) ExecuteCost(x []float64, planID int) (float64, error) {
+	return e.env.ExecuteCost(x, planID)
 }
 
 // ExecuteCost implements core.Environment: the execution cost of a given
