@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench benchcmp clean
+.PHONY: tier1 build vet test race chaos crash fuzz bench benchcmp clean
+
+# Per-target budget for the fuzz smoke (`make fuzz FUZZTIME=2m` to go deep).
+FUZZTIME ?= 15s
 
 # Benchmark pipeline knobs: `make bench` re-measures the serving-path suite
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR4.json
+BENCH_OUT  ?= BENCH_PR5.json
 
 # The gate: build, vet, the full test suite under the race detector, and the
 # serving-path zero-allocation guard (a separate non-race invocation: the
@@ -33,6 +36,21 @@ race:
 # Just the fault-injection / breaker / snapshot-damage suite.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestConcurrent|TestParallel' -v .
+
+# The durability suite: crash-image recovery properties, degrade-to-cold
+# triples, and the kill-and-restart integration test against the real
+# ppcserve binary.
+crash:
+	$(GO) test -race -run 'TestDurable|TestCrashRecovery|TestDegrade' -v .
+	$(GO) test -race -run TestKillRestartRecovery -v ./cmd/ppcserve
+
+# Short fuzz smoke over every decoder that reads crash-shaped bytes: the
+# WAL frame decoder, the WAL directory scanner/repairer, and the snapshot
+# envelope. Go runs one fuzz target per invocation, hence three runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) .
 
 # Run the go-test serving-path benchmarks with allocation accounting, then
 # regenerate the machine-readable report through cmd/ppcbench.

@@ -20,6 +20,12 @@ func BenchmarkInsertApproxLSHHist(b *testing.B)  { benchsuite.InsertApproxLSHHis
 func BenchmarkEndToEndRun(b *testing.B)          { benchsuite.EndToEndRun(b) }
 func BenchmarkRunMixedSerial(b *testing.B)       { benchsuite.RunMixedSerial(b) }
 
+// BenchmarkRunWithWAL is BenchmarkEndToEndRun on a durability-enabled
+// System: the same steady-state Q1 workload with every validated feedback
+// point logged to the WAL (SyncInterval group commit). The ratio against
+// BenchmarkEndToEndRun is the serving-path cost of durability.
+func BenchmarkRunWithWAL(b *testing.B) { benchsuite.RunWithWAL(b) }
+
 // BenchmarkRunParallel serves the mixed four-template workload from
 // GOMAXPROCS goroutines, each pinned to one template. Against
 // BenchmarkRunMixedSerial it measures the scaling the sharded per-template

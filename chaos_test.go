@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/tpch"
+	"repro/internal/wal"
 )
 
 // Chaos suite: the System is driven through the paper's Q0–Q8 templates
@@ -71,15 +72,30 @@ func TestChaosAllFaultClasses(t *testing.T) {
 		t.Run(class.String(), func(t *testing.T) {
 			inj := faults.New(42).Enable(class, 0.3)
 			inj.SetLatency(200 * time.Microsecond)
-			sys, err := Open(Options{
+			opts := Options{
 				TPCH:    tpch.Config{Scale: 2000, Seed: 5},
 				Online:  onlineForTest(),
 				Breaker: chaosBreaker(),
 				Faults:  inj,
-			})
+			}
+			// The WAL classes live on the durability layer's disk path and
+			// only fire with a WAL open. Their contract inverts the Run-path
+			// classes: append and fsync failures degrade durability, never
+			// availability, so every Run below must still succeed.
+			walClass := class == faults.WALShortWrite ||
+				class == faults.WALFsyncError || class == faults.WALTornTail
+			if walClass {
+				opts.Durability = Durability{
+					Dir:                 t.TempDir(),
+					Sync:                wal.SyncAlways,
+					DisableCheckpointer: true,
+				}
+			}
+			sys, err := Open(opts)
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer sys.Close() //nolint:errcheck
 			if err := sys.RegisterStandard(); err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +146,18 @@ func TestChaosAllFaultClasses(t *testing.T) {
 				rounds = 30 * len(names)
 			}
 			for i := 0; i < rounds; i++ {
-				run(i, true)
+				// WAL faults must never surface on the Run path, so those
+				// rounds assert success outright.
+				run(i, !walClass)
+			}
+			if walClass {
+				// Appends happen on the background appliers; flush them so
+				// every acknowledged point has consulted the injector.
+				for _, name := range names {
+					if _, err := sys.TemplateStats(name); err != nil {
+						t.Fatal(err)
+					}
+				}
 			}
 			if class != faults.SnapshotCorruption && inj.Fired(class) == 0 {
 				t.Fatalf("fault class %s never fired", class)

@@ -4,10 +4,17 @@
 // load generator keeps the serving path busy so the endpoints show a live
 // system rather than a cold one.
 //
+// With -wal-dir set the system runs durably: validated feedback is logged
+// to a write-ahead log before it is acknowledged, a background checkpointer
+// compacts the log, and a restart with the same directory replays the tail
+// so no acknowledged point is lost to a crash (see /recovery).
+//
 // Usage:
 //
 //	ppcserve [-addr :8080] [-scale N] [-seed S] [-templates Q0,Q1,Q2,Q3]
 //	         [-cache N] [-ring N] [-load WORKERS] [-sigma S]
+//	         [-wal-dir DIR] [-wal-sync always|interval|never]
+//	         [-wal-sync-interval 100ms] [-checkpoint-every 1m]
 //
 // Endpoints:
 //
@@ -16,6 +23,8 @@
 //	GET /stats?template=Q1       learner stats (omit template for all)
 //	GET /health                  per-template breaker and degraded-mode counters
 //	GET /run?template=Q1&values=0.3,0.4   run one instance at a plan-space point
+//	GET /recovery                LoadReport from startup recovery (404 when cold-started)
+//	POST /checkpoint             force a checkpoint + WAL compaction now
 //	GET /debug/vars              expvar (includes the metrics snapshot)
 //	GET /debug/pprof/            pprof profiles
 package main
@@ -40,10 +49,22 @@ import (
 
 	"repro"
 	"repro/internal/tpch"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppcserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole server lifecycle so that every exit path — flag
+// errors, failed registration, listen failures, signals — flows through the
+// single deferred Close, which flushes the feedback appliers and (when
+// durability is on) syncs the WAL and takes a final checkpoint.
+func run() (err error) {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	scale := flag.Int("scale", 1000, "TPC-H scale divisor")
 	seed := flag.Int64("seed", 2012, "database generation seed")
@@ -52,25 +73,56 @@ func main() {
 	ring := flag.Int("ring", 256, "per-template trace ring size (negative disables)")
 	load := flag.Int("load", 1, "background load-generator workers (0 disables)")
 	sigma := flag.Float64("sigma", 0.02, "load-generator trajectory locality r_d")
+	walDir := flag.String("wal-dir", "", "durability directory (empty disables the WAL)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
+	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (requires -wal-dir)")
 	flag.Parse()
+
+	var durability ppc.Durability
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walSync)
+		if err != nil {
+			return err
+		}
+		durability = ppc.Durability{
+			Dir:                *walDir,
+			Sync:               policy,
+			SyncInterval:       *walSyncEvery,
+			CheckpointInterval: *checkpointEvery,
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "ppcserve: generating database (SF1/%d, seed %d)...\n", *scale, *seed)
 	sys, err := ppc.Open(ppc.Options{
 		TPCH:          tpch.Config{Scale: *scale, Seed: *seed},
 		CacheCapacity: *cacheCap,
 		TraceRingSize: *ring,
+		Durability:    durability,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	// Close stops the appliers (every acknowledged point reaches the
+	// synopsis) and flushes durability; its error is the process's exit
+	// status unless an earlier failure already claimed it.
+	defer func() {
+		if cerr := sys.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := sys.RegisterStandard(); err != nil {
-		fatal(err)
+		return err
 	}
 	names := splitNames(*templates)
 	for _, name := range names {
 		if _, err := sys.Template(name); err != nil {
-			fatal(err)
+			return err
 		}
+	}
+	if rep := sys.LoadStateReport(); rep != nil && rep.WALEnabled {
+		fmt.Fprintf(os.Stderr, "ppcserve: recovered %d templates, replayed %d WAL records (%d skipped, %d stale) in %s\n",
+			rep.Templates, rep.WALReplayed, rep.WALSkipped, rep.WALStale, rep.RecoveryDuration)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -184,6 +236,21 @@ func main() {
 			"rows":      rows,
 		})
 	})
+	http.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
+		rep := sys.LoadStateReport()
+		if rep == nil {
+			httpError(w, http.StatusNotFound, errors.New("cold start: no recovery was performed"))
+			return
+		}
+		writeJSON(w, rep)
+	})
+	http.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := sys.Checkpoint(); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, sys.WALMetrics())
+	})
 
 	srv := &http.Server{Addr: *addr}
 	go func() {
@@ -191,19 +258,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppcserve: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(shutCtx)
+		srv.Shutdown(shutCtx) //nolint:errcheck
 	}()
-	fmt.Fprintf(os.Stderr, "ppcserve: serving %s on %s (load workers: %d)\n",
-		strings.Join(names, ","), *addr, *load)
+	fmt.Fprintf(os.Stderr, "ppcserve: serving %s on %s (load workers: %d, wal: %v)\n",
+		strings.Join(names, ","), *addr, *load, *walDir != "")
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(err)
+		return err
 	}
 	wg.Wait()
-	// Stop the background appliers so every queued feedback point is
-	// applied before the process exits.
-	if err := sys.Close(); err != nil {
-		fatal(err)
-	}
+	return nil
 }
 
 // generateLoad replays an endless trajectory workload against one template
@@ -272,9 +335,4 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ppcserve:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,469 @@
+package ppc
+
+// Crash-recovery suite for the durability layer. The contract under test:
+//
+//   - no silent loss: every feedback point acknowledged before the crash
+//     image was taken is in the recovered synopsis (WAL-synced records are
+//     the acknowledgement boundary under SyncAlways);
+//   - no double-apply: replay is idempotent — recovering the same directory
+//     twice, or recovering a directory that a checkpoint already covers,
+//     changes nothing;
+//   - torn tails are expected damage: truncated cleanly, reported in the
+//     LoadReport, never escalated to corruption;
+//   - corruption degrades, never fails: a damaged checkpoint or mid-log WAL
+//     damage yields a cold-but-serving System with the damage reported.
+//
+// Crash images are taken by copying the durability directory while the
+// System is still running — exactly what a crash leaves behind, including
+// a possibly half-written trailing record.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/tpch"
+	"repro/internal/wal"
+)
+
+// openDurable opens a System over dir with the WAL in SyncAlways (every
+// apply batch is fsynced before the next) and the background checkpointer
+// off, so tests control exactly when checkpoints happen. Q1 is registered
+// unless the checkpoint already restored it.
+func openDurable(t *testing.T, dir string, mut func(*Options)) *System {
+	t.Helper()
+	online := onlineForTest()
+	// A high audit rate keeps validated feedback flowing after the learner
+	// warms up, so every phase of every test appends WAL records.
+	online.InvocationProb = 0.3
+	opts := Options{
+		TPCH:   tpch.Config{Scale: 2000, Seed: 5},
+		Online: online,
+		Durability: Durability{
+			Dir:                 dir,
+			Sync:                wal.SyncAlways,
+			DisableCheckpointer: true,
+		},
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	sys, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Template("Q1"); err != nil {
+		if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// runDurableWorkload issues n warm-neighborhood runs against Q1 so the
+// learner validates points and the applier logs them.
+func runDurableWorkload(t *testing.T, sys *System, n int, seed int64) {
+	t.Helper()
+	tmpl, err := sys.Template("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	point := make([]float64, tmpl.Degree())
+	for i := 0; i < n; i++ {
+		for j := range point {
+			point[j] = 0.25 + rng.Float64()*0.1
+		}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run("Q1", inst.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// crashImage copies the durability directory while sys keeps running — the
+// on-disk state an abrupt process death would leave.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// lastSegment returns the path of the newest WAL segment under dir.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments")
+	}
+	sort.Strings(segs)
+	return filepath.Join(dir, "wal", segs[len(segs)-1])
+}
+
+// mustScan runs the read-only WAL scanner — the independent ground truth
+// the recovered System is audited against.
+func mustScan(t *testing.T, dir string) *wal.Recovery {
+	t.Helper()
+	recov, err := wal.Scan(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recov
+}
+
+// statsTriple is the provenance fingerprint the suite compares across
+// crash/recovery boundaries.
+type statsTriple struct {
+	validated, selfLabeled int
+	appliedSeq             uint64
+}
+
+func triple(t *testing.T, sys *System) statsTriple {
+	t.Helper()
+	st, err := sys.TemplateStats("Q1") // flushes the applier first
+	if err != nil {
+		t.Fatal(err)
+	}
+	return statsTriple{st.Validated, st.SelfLabeled, st.AppliedSeq}
+}
+
+// TestDurableCloseReopenRestoresState is the clean-shutdown half of the
+// contract: Close takes a final checkpoint, so a reopen restores the exact
+// learner state and replays nothing.
+func TestDurableCloseReopenRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	runDurableWorkload(t, sys, 120, 3)
+	before := triple(t, sys)
+	if before.validated == 0 {
+		t.Fatal("workload validated nothing; test is vacuous")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := openDurable(t, dir, nil)
+	defer sys2.Close() //nolint:errcheck
+	rep := sys2.LoadStateReport()
+	if rep == nil || !rep.WALEnabled {
+		t.Fatalf("no WAL-enabled load report: %+v", rep)
+	}
+	if rep.Corrupt {
+		t.Fatalf("clean shutdown reported corrupt: %+v", rep)
+	}
+	if rep.WALReplayed != 0 {
+		t.Errorf("clean shutdown replayed %d records; final checkpoint should cover all", rep.WALReplayed)
+	}
+	if after := triple(t, sys2); after != before {
+		t.Errorf("restored state %+v, want %+v", after, before)
+	}
+	// The reopened system keeps serving and logging.
+	runDurableWorkload(t, sys2, 20, 4)
+	if after := triple(t, sys2); after.appliedSeq <= before.appliedSeq {
+		t.Errorf("sequence did not advance after reopen: %+v vs %+v", after, before)
+	}
+}
+
+// TestCrashRecoveryProperty is the tentpole property: kill a System that
+// has a checkpoint plus a WAL tail plus a torn trailing write, and the
+// recovered System must hold exactly the acknowledged feedback — audited
+// against an independent scan of the crash image — with the tear reported.
+func TestCrashRecoveryProperty(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 80, 3)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	runDurableWorkload(t, sys, 80, 4)
+	acked := triple(t, sys) // flushed: everything below is on disk (SyncAlways)
+
+	crash := crashImage(t, dir)
+	// A torn trailing write: garbage after the last good record.
+	f, err := os.OpenFile(lastSegment(t, crash), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x7f, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan := mustScan(t, crash)
+
+	sys2 := openDurable(t, crash, nil)
+	rep := sys2.LoadStateReport()
+	if rep == nil || !rep.WALEnabled {
+		t.Fatalf("no WAL-enabled load report: %+v", rep)
+	}
+	if rep.Corrupt {
+		t.Fatalf("torn tail escalated to corruption: %+v", rep)
+	}
+	if rep.WALTornBytes == 0 {
+		t.Errorf("torn tail not reported: %+v", rep)
+	}
+	// No silent loss, no double-apply: the recovered learner equals the
+	// acknowledged state exactly.
+	if got := triple(t, sys2); got != acked {
+		t.Errorf("recovered %+v, want acknowledged %+v", got, acked)
+	}
+	// Every scanned record is accounted for: replayed past the checkpoint
+	// watermark, skipped below it, or dropped stale — nothing vanishes.
+	if total := rep.WALReplayed + rep.WALSkipped + rep.WALStale; total != len(scan.Records) {
+		t.Errorf("replay accounting %d (replayed %d + skipped %d + stale %d), scan holds %d records",
+			total, rep.WALReplayed, rep.WALSkipped, rep.WALStale, len(scan.Records))
+	}
+	if rep.WALReplayed == 0 {
+		t.Error("nothing replayed; the post-checkpoint tail is missing")
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotence: recover the recovered directory. The close above took a
+	// checkpoint, so the second recovery must replay nothing and change
+	// nothing.
+	sys3 := openDurable(t, crash, nil)
+	defer sys3.Close() //nolint:errcheck
+	if rep3 := sys3.LoadStateReport(); rep3.WALReplayed != 0 {
+		t.Errorf("second recovery replayed %d records; replay is not idempotent", rep3.WALReplayed)
+	}
+	if got := triple(t, sys3); got != acked {
+		t.Errorf("double recovery drifted: %+v, want %+v", got, acked)
+	}
+}
+
+// TestCrashRecoveryUnderAppendFaults runs the same property with injected
+// short writes: each failed append loses exactly one record from the log
+// (counted, never silent), the in-memory learner keeps serving, and the
+// recovered System matches the independent scan exactly.
+func TestCrashRecoveryUnderAppendFaults(t *testing.T) {
+	inj := faults.New(9).Enable(faults.WALShortWrite, 0.2)
+	dir := t.TempDir()
+	sys := openDurable(t, dir, func(o *Options) { o.Faults = inj })
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 150, 3)
+	inj.DisableAll()
+	acked := triple(t, sys)
+	m := sys.WALMetrics()
+	if m == nil || m.AppendErrors == 0 {
+		t.Fatalf("short writes never fired: %+v", m)
+	}
+
+	crash := crashImage(t, dir)
+	scan := mustScan(t, crash)
+	if scan.TornBytes != 0 {
+		t.Fatalf("short-write repair left %d torn bytes", scan.TornBytes)
+	}
+
+	sys2 := openDurable(t, crash, nil)
+	defer sys2.Close() //nolint:errcheck
+	rep := sys2.LoadStateReport()
+	got := triple(t, sys2)
+	// The recovered synopsis holds exactly the scanned records (there is no
+	// checkpoint, so everything replays at Register).
+	if rep.WALReplayed != len(scan.Records) {
+		t.Errorf("replayed %d of %d scanned records", rep.WALReplayed, len(scan.Records))
+	}
+	if got.validated+got.selfLabeled != rep.WALReplayed {
+		t.Errorf("synopsis holds %d points, replayed %d", got.validated+got.selfLabeled, rep.WALReplayed)
+	}
+	if got.appliedSeq != scan.LastSeq {
+		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	}
+	// Degraded durability is exactly the counted append errors: memory holds
+	// every acknowledged point, disk is short by precisely the failures.
+	lost := (acked.validated + acked.selfLabeled) - (got.validated + got.selfLabeled)
+	if lost != int(m.AppendErrors) {
+		t.Errorf("lost %d records to short writes, but %d append errors were counted", lost, m.AppendErrors)
+	}
+}
+
+// corruptFile flips bytes in the middle of a file.
+func corruptFile(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradeCorruptCheckpointValidWAL: the checkpoint is damaged but the
+// WAL tail is intact. The System must come up cold, report the corruption,
+// and still recover every record the compacted log retained — replayed when
+// the application re-registers its template.
+func TestDegradeCorruptCheckpointValidWAL(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 60, 3)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	runDurableWorkload(t, sys, 60, 4)
+	triple(t, sys) // flush
+
+	crash := crashImage(t, dir)
+	corruptFile(t, filepath.Join(crash, "checkpoint.ppc"), 32)
+	scan := mustScan(t, crash)
+	if len(scan.Records) == 0 {
+		t.Fatal("no WAL records survive; test is vacuous")
+	}
+
+	sys2 := openDurable(t, crash, nil)
+	defer sys2.Close() //nolint:errcheck
+	rep := sys2.LoadStateReport()
+	if !rep.Corrupt {
+		t.Fatalf("corrupt checkpoint undetected: %+v", rep)
+	}
+	// Registration replays the held records into the cold learner.
+	got := triple(t, sys2)
+	if rep.WALReplayed != len(scan.Records) {
+		t.Errorf("replayed %d of %d retained records", rep.WALReplayed, len(scan.Records))
+	}
+	if got.appliedSeq != scan.LastSeq {
+		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	}
+	if rep.WALPending != 0 {
+		t.Errorf("%d records still pending after registration", rep.WALPending)
+	}
+	// Cold-but-serving: the degraded System still answers queries.
+	runDurableWorkload(t, sys2, 5, 5)
+}
+
+// TestDegradeValidCheckpointCorruptWALTail: the checkpoint is fine and the
+// WAL's damage is confined to the tail. Recovery restores the checkpoint,
+// truncates the tear, replays what precedes it, and does NOT report
+// corruption — a torn tail is the expected crash artifact.
+func TestDegradeValidCheckpointCorruptWALTail(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 60, 3)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	runDurableWorkload(t, sys, 60, 4)
+	triple(t, sys) // flush
+
+	crash := crashImage(t, dir)
+	// Scribble over the final record's frame: a tail tear mid-record.
+	seg := lastSegment(t, crash)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, seg, info.Size()-10)
+	scan := mustScan(t, crash)
+
+	sys2 := openDurable(t, crash, nil)
+	defer sys2.Close() //nolint:errcheck
+	rep := sys2.LoadStateReport()
+	if rep.Corrupt {
+		t.Fatalf("tail damage escalated to corruption: %+v", rep)
+	}
+	if rep.WALTornBytes == 0 {
+		t.Errorf("tail damage not reported: %+v", rep)
+	}
+	if rep.Templates == 0 {
+		t.Errorf("checkpoint not restored: %+v", rep)
+	}
+	got := triple(t, sys2)
+	if got.appliedSeq != scan.LastSeq {
+		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	}
+	if total := rep.WALReplayed + rep.WALSkipped + rep.WALStale; total != len(scan.Records) {
+		t.Errorf("replay accounting %d, scan holds %d records", total, len(scan.Records))
+	}
+	runDurableWorkload(t, sys2, 5, 5)
+}
+
+// TestDegradeBothCorrupt: checkpoint damaged AND the WAL torn early. The
+// System still opens, reports the corruption, recovers what the log kept
+// before the tear, and serves.
+func TestDegradeBothCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 60, 3)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	runDurableWorkload(t, sys, 60, 4)
+	triple(t, sys) // flush
+
+	crash := crashImage(t, dir)
+	corruptFile(t, filepath.Join(crash, "checkpoint.ppc"), 32)
+	seg := lastSegment(t, crash)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear a third of the way in: everything after is lost, everything
+	// before must survive.
+	corruptFile(t, seg, info.Size()/3)
+	scan := mustScan(t, crash)
+
+	sys2 := openDurable(t, crash, nil)
+	defer sys2.Close() //nolint:errcheck
+	rep := sys2.LoadStateReport()
+	if !rep.Corrupt {
+		t.Fatalf("corrupt checkpoint undetected: %+v", rep)
+	}
+	if rep.WALTornBytes == 0 {
+		t.Errorf("WAL tear not reported: %+v", rep)
+	}
+	got := triple(t, sys2)
+	if got.appliedSeq != scan.LastSeq {
+		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	}
+	if rep.WALReplayed != len(scan.Records) {
+		t.Errorf("replayed %d of %d surviving records", rep.WALReplayed, len(scan.Records))
+	}
+	runDurableWorkload(t, sys2, 5, 5)
+}

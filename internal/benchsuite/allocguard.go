@@ -13,7 +13,10 @@ import (
 // observability registry in particular) can never silently reintroduce
 // allocations — a regression here fails `make tier1`, not a BENCH json
 // archaeology session months later.
-var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "PredictModelSnapshot", "InsertApproxLSHHist"}
+// WALAppend joins the list with PR 5: the append runs under the learner's
+// write lock, so an allocation there would stall the feedback path the same
+// way a predictor allocation would stall serving.
+var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "PredictModelSnapshot", "InsertApproxLSHHist", "WALAppend"}
 
 // CheckZeroAlloc measures the named suite entries under testing.Benchmark
 // and returns an error naming every entry that allocated. progress may be

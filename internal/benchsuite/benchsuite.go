@@ -12,6 +12,10 @@
 package benchsuite
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/queries"
 	"repro/internal/tpch"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -222,6 +227,216 @@ func EndToEndRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Durable Run substrate -------------------------------------------------
+
+var (
+	walOnce sync.Once
+	walErr  error
+	walSys  *ppc.System
+	walDir  string
+	walVals [][]float64
+)
+
+// walEnv opens a second System identical to runEnv's but with durability
+// enabled — every validated feedback point is WAL-logged before it is
+// acknowledged — and warms Q1 the same way, so RunWithWAL over EndToEndRun
+// isolates the logging cost. SyncInterval is the production-representative
+// policy (group commit amortized across a fsync window); the checkpointer
+// is off so the log keeps growing and MeasureRecovery has a tail to replay.
+func walEnv(b *testing.B) (*ppc.System, [][]float64) {
+	b.Helper()
+	walOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ppcbench-wal-")
+		if err != nil {
+			walErr = err
+			return
+		}
+		walDir = dir
+		sys, err := ppc.Open(ppc.Options{
+			TPCH: tpch.Config{Scale: 2000, Seed: 5},
+			Durability: ppc.Durability{
+				Dir:                 dir,
+				Sync:                wal.SyncInterval,
+				DisableCheckpointer: true,
+			},
+		})
+		if err != nil {
+			walErr = err
+			return
+		}
+		sql, ok := defSQL("Q1")
+		if !ok {
+			walErr = fmt.Errorf("benchsuite: no Q1 definition")
+			return
+		}
+		if err := sys.Register("Q1", sql); err != nil {
+			walErr = err
+			return
+		}
+		tmpl, err := sys.Template("Q1")
+		if err != nil {
+			walErr = err
+			return
+		}
+		points := workload.MustTrajectories(workload.TrajectoryConfig{
+			Dims: tmpl.Degree(), NumPoints: 512, Sigma: 0.01, Seed: 3,
+		})
+		vals := make([][]float64, len(points))
+		for i, p := range points {
+			inst, err := sys.Optimizer().InstanceAt(tmpl, p)
+			if err != nil {
+				walErr = err
+				return
+			}
+			vals[i] = inst.Values
+		}
+		for i := 0; i < 64; i++ {
+			if _, err := sys.Run("Q1", vals[i%len(vals)]); err != nil {
+				walErr = err
+				return
+			}
+		}
+		walSys, walVals = sys, vals
+	})
+	if walErr != nil {
+		b.Fatal(walErr)
+	}
+	return walSys, walVals
+}
+
+// RunWithWAL is EndToEndRun with durability enabled: the same steady-state
+// Q1 workload on a System whose feedback applier logs every validated point
+// to the WAL. Its ns/op over EndToEndRun's is the report's wal_overhead —
+// the end-to-end price of durability on the serving path. The predict path
+// itself never touches the log (appends happen on the background applier),
+// so the overhead shows up as applier backpressure, not per-Run fsyncs.
+func RunWithWAL(b *testing.B) {
+	sys, pts := walEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run("Q1", pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MeasureRecovery times crash recovery over the WAL that RunWithWAL wrote:
+// it snapshots the durability directory (copying files mid-append is a
+// faithful crash image — a partial trailing record is exactly a torn tail),
+// opens a fresh System over the copy, registers the template so the held
+// records replay, and reports the recovery wall time in milliseconds along
+// with the number of records replayed. Returns 0, 0 with no error when the
+// WAL substrate was never built (RunWithWAL did not run).
+func MeasureRecovery() (ms float64, replayed int, err error) {
+	if walSys == nil || walDir == "" {
+		return 0, 0, nil
+	}
+	// Flush the applier so the log holds the acknowledged workload.
+	if _, err := walSys.TemplateStats("Q1"); err != nil {
+		return 0, 0, err
+	}
+	dst, err := os.MkdirTemp("", "ppcbench-recover-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dst) //nolint:errcheck
+	if err := copyTree(walDir, dst); err != nil {
+		return 0, 0, err
+	}
+	sys, err := ppc.Open(ppc.Options{
+		TPCH: tpch.Config{Scale: 2000, Seed: 5},
+		Durability: ppc.Durability{
+			Dir:                 dst,
+			DisableCheckpointer: true,
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Close() //nolint:errcheck
+	sql, ok := defSQL("Q1")
+	if !ok {
+		return 0, 0, fmt.Errorf("benchsuite: no Q1 definition")
+	}
+	if err := sys.Register("Q1", sql); err != nil {
+		return 0, 0, err
+	}
+	rep := sys.LoadStateReport()
+	if rep == nil {
+		return 0, 0, fmt.Errorf("benchsuite: recovery produced no LoadReport")
+	}
+	return float64(rep.RecoveryDuration.Nanoseconds()) / 1e6, rep.WALReplayed, nil
+}
+
+// WALAppend measures the log's append path in isolation: encode one frame
+// into the log's reused scratch buffer and write it to the current segment
+// (SyncNever — fsync cost is Commit's, measured by RunWithWAL end to end).
+// The append runs under the learner's write lock in production, so it must
+// stay allocation-free: it is part of the zero-alloc guard.
+func WALAppend(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ppcbench-walappend-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+	log, _, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncNever, SegmentBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close() //nolint:errcheck
+	rec := wal.Record{Epoch: 1, Template: "Q1", Plan: 3, Cost: 1.5, Point: []float64{0.25, 0.3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// defSQL returns the SQL of a standard template definition.
+func defSQL(name string) (string, bool) {
+	for _, d := range queries.Defs {
+		if d.Name == name {
+			return d.SQL, true
+		}
+	}
+	return "", false
+}
+
+// copyTree copies a directory tree of regular files (the durability layout
+// has no symlinks or special files).
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close() //nolint:errcheck
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close() //nolint:errcheck
+			return err
+		}
+		return out.Close()
+	})
 }
 
 // RunMixedSerial is the serial baseline for RunParallel: the same mixed

@@ -22,7 +22,9 @@ var Suite = []struct {
 	{"PredictApproxLSHHist", PredictApproxLSHHist},
 	{"PredictModelSnapshot", PredictModelSnapshot},
 	{"InsertApproxLSHHist", InsertApproxLSHHist},
+	{"WALAppend", WALAppend},
 	{"EndToEndRun", EndToEndRun},
+	{"RunWithWAL", RunWithWAL},
 	{"RunMixedSerial", RunMixedSerial},
 	{"RunParallel", RunParallel},
 	{"RunHotTemplateParallel", RunHotTemplateParallel},
@@ -73,6 +75,17 @@ type Report struct {
 	// the PR 4 read/write split can. Like ParallelSpeedup it is bounded by
 	// GOMAXPROCS.
 	HotTemplateSpeedup float64 `json:"hot_template_speedup,omitempty"`
+	// WALOverhead is RunWithWAL ns/op divided by EndToEndRun ns/op — the
+	// end-to-end cost multiplier of durability on the serving path (1.0
+	// means free; the WAL substrate uses the SyncInterval group-commit
+	// policy). RecoveryMs is the wall time a fresh System took to recover
+	// a crash image of that substrate's durability directory (WAL scan,
+	// repair and tail replay), and RecoveryReplayed the records it
+	// replayed — together they calibrate the checkpoint-interval/restart-
+	// time trade-off.
+	WALOverhead      float64 `json:"wal_overhead,omitempty"`
+	RecoveryMs       float64 `json:"recovery_ms,omitempty"`
+	RecoveryReplayed int     `json:"recovery_replayed,omitempty"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -112,6 +125,19 @@ func RunSuite(progress io.Writer) (Report, error) {
 	if okO && okH && hot.NsPerOp > 0 {
 		rep.HotTemplateSpeedup = one.NsPerOp / hot.NsPerOp
 	}
+	walRes, okW := rep.Find("RunWithWAL")
+	if okO && okW && one.NsPerOp > 0 {
+		rep.WALOverhead = walRes.NsPerOp / one.NsPerOp
+	}
+	if progress != nil {
+		fmt.Fprintln(progress, "measuring crash recovery...")
+	}
+	ms, replayed, err := MeasureRecovery()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.RecoveryMs = ms
+	rep.RecoveryReplayed = replayed
 	return rep, nil
 }
 
@@ -190,6 +216,12 @@ func WriteComparison(w io.Writer, old, cur Report) {
 	}
 	if old.HotTemplateSpeedup > 0 || cur.HotTemplateSpeedup > 0 {
 		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "hot-template speedup", old.HotTemplateSpeedup, cur.HotTemplateSpeedup)
+	}
+	if old.WALOverhead > 0 || cur.WALOverhead > 0 {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "wal overhead", old.WALOverhead, cur.WALOverhead)
+	}
+	if old.RecoveryMs > 0 || cur.RecoveryMs > 0 {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "recovery ms", old.RecoveryMs, cur.RecoveryMs)
 	}
 }
 

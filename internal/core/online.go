@@ -159,6 +159,11 @@ type Feedback struct {
 	Cost        float64
 	SelfLabeled bool
 	Epoch       int64
+	// Seq is the point's write-ahead-log sequence number: 0 for a live
+	// point that has not been logged yet, >0 for a point read back from the
+	// log during recovery. Replay uses it for exactly-once application — a
+	// record at or below the learner's applied sequence is skipped.
+	Seq uint64
 }
 
 // FeedbackSink receives feedback points produced by StepConcurrent. The
@@ -167,6 +172,23 @@ type Feedback struct {
 // to a synchronous Apply instead of dropping validated points).
 type FeedbackSink interface {
 	Deliver(fb Feedback)
+}
+
+// FeedbackLogger durably appends feedback points on their way into the
+// synopsis. LogFeedback is called under the learner write lock, immediately
+// before the in-memory insert — append and apply are therefore atomic with
+// respect to EncodeState, so a checkpoint's applied-sequence watermark
+// never claims a record the checkpoint does not contain. Commit is the
+// group-commit barrier, called once per apply batch after the lock is
+// released (an fsync must not stall the write path's lock).
+type FeedbackLogger interface {
+	// LogFeedback appends one point and returns its assigned sequence
+	// number; seq 0 with nil error means the logger declined the record
+	// (e.g. an injected dead log). Errors degrade durability, never
+	// availability: the caller applies the point in memory regardless.
+	LogFeedback(fb *Feedback) (seq uint64, err error)
+	// Commit makes previously logged records durable per the sync policy.
+	Commit() error
 }
 
 // Online is the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver for one query
@@ -211,6 +233,14 @@ type Online struct {
 	scratch sync.Pool
 
 	faults *faults.Injector
+
+	// wal, when set, durably logs every applied feedback point. Written
+	// once at registration (before the template serves); read under mu.
+	wal FeedbackLogger
+	// appliedSeq is the WAL sequence number of the newest feedback point
+	// reflected in the synopsis. Persisted by EncodeState so recovery can
+	// replay exactly the records the checkpoint misses.
+	appliedSeq atomic.Uint64
 
 	// resets counts drift recoveries; it doubles as the feedback epoch.
 	resets atomic.Int64
@@ -454,22 +484,23 @@ func (o *Online) LearnValidated(x []float64, plan int, cost float64) error {
 // use; writers serialize on the learner lock.
 func (o *Online) Apply(fb Feedback) bool {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	ok := o.applyLocked(fb)
 	if ok {
 		o.publishLocked()
 	}
+	o.mu.Unlock()
+	o.commitWAL()
 	return ok
 }
 
 // ApplyBatch applies a batch of feedback points and publishes at most one
-// snapshot, amortizing the copy-on-write cost over the whole batch.
+// snapshot, amortizing the copy-on-write cost over the whole batch. One
+// WAL group commit covers the batch.
 func (o *Online) ApplyBatch(batch []Feedback) (applied, dropped int) {
 	if len(batch) == 0 {
 		return 0, 0
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	for _, fb := range batch {
 		if o.applyLocked(fb) {
 			applied++
@@ -480,6 +511,8 @@ func (o *Online) ApplyBatch(batch []Feedback) (applied, dropped int) {
 	if applied > 0 {
 		o.publishLocked()
 	}
+	o.mu.Unlock()
+	o.commitWAL()
 	return applied, dropped
 }
 
@@ -487,6 +520,15 @@ func (o *Online) applyLocked(fb Feedback) bool {
 	if fb.Epoch != o.resets.Load() {
 		o.staleDrops.Add(1)
 		return false
+	}
+	if o.wal != nil && fb.Seq == 0 {
+		// Log before insert, under the same lock, so a checkpoint's
+		// appliedSeq watermark and its synopsis always agree. Append
+		// failures are counted by the log's observer and degrade
+		// durability only — the point still applies in memory.
+		if seq, err := o.wal.LogFeedback(&fb); err == nil && seq > 0 {
+			o.appliedSeq.Store(seq)
+		}
 	}
 	o.pred.Insert(cluster.Sample{Point: fb.Point, Plan: fb.Plan, Cost: fb.Cost})
 	if fb.SelfLabeled {
@@ -497,6 +539,72 @@ func (o *Online) applyLocked(fb Feedback) bool {
 	return true
 }
 
+// commitWAL runs the group-commit barrier outside the learner lock (an
+// fsync must not stall concurrent writers). Commit errors are counted by
+// the log's observer; the in-memory state is already applied.
+func (o *Online) commitWAL() {
+	if o.wal != nil {
+		o.wal.Commit() //nolint:errcheck
+	}
+}
+
+// ReplayBatch re-applies feedback records read back from the write-ahead
+// log during recovery. Unlike ApplyBatch it is idempotent and epoch-aware:
+//
+//   - A record at or below the learner's applied sequence is already in the
+//     checkpoint — skipped, never double-applied.
+//   - A record from a newer epoch than the learner's implies drift resets
+//     happened between: the resets are performed first, reproducing the
+//     live insert-then-reset ordering.
+//   - A record from an older epoch is dropped as stale (it was superseded
+//     by a reset before the crash).
+//
+// Records are not re-logged (they are already on disk). The applied
+// sequence advances over skipped and stale records too, so a second replay
+// of the same log is a no-op.
+func (o *Online) ReplayBatch(batch []Feedback) (applied, skipped, stale int) {
+	if len(batch) == 0 {
+		return 0, 0, 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dirty := false
+	for _, fb := range batch {
+		if fb.Seq != 0 && fb.Seq <= o.appliedSeq.Load() {
+			skipped++
+			continue
+		}
+		if cur := o.resets.Load(); fb.Epoch > cur {
+			o.pred.Reset()
+			o.est.Reset()
+			o.resets.Store(fb.Epoch)
+			dirty = true
+		} else if fb.Epoch < cur {
+			if fb.Seq != 0 {
+				o.appliedSeq.Store(fb.Seq)
+			}
+			o.staleDrops.Add(1)
+			stale++
+			continue
+		}
+		o.pred.Insert(cluster.Sample{Point: fb.Point, Plan: fb.Plan, Cost: fb.Cost})
+		if fb.SelfLabeled {
+			o.selfLabeled.Add(1)
+		} else {
+			o.validated.Add(1)
+		}
+		if fb.Seq != 0 {
+			o.appliedSeq.Store(fb.Seq)
+		}
+		applied++
+		dirty = true
+	}
+	if dirty {
+		o.publishLocked()
+	}
+	return applied, skipped, stale
+}
+
 // publishLocked freezes the live synopsis and publishes it. Callers hold mu.
 func (o *Online) publishLocked() {
 	o.snap.Store(o.pred.Freeze())
@@ -505,6 +613,21 @@ func (o *Online) publishLocked() {
 
 // SetFaults attaches a fault injector (nil disables injection).
 func (o *Online) SetFaults(inj *faults.Injector) { o.faults = inj }
+
+// SetWAL attaches a feedback logger (nil disables durable logging). Must be
+// called before the driver starts applying feedback — registration time,
+// not mid-flight.
+func (o *Online) SetWAL(l FeedbackLogger) {
+	o.mu.Lock()
+	o.wal = l
+	o.mu.Unlock()
+}
+
+// AppliedSeq returns the WAL sequence number of the newest feedback point
+// reflected in the synopsis (0 when nothing was ever logged). Checkpoint
+// compaction uses it as the safe lower bound: every record at or below it
+// is covered by a SaveState taken afterwards.
+func (o *Online) AppliedSeq() uint64 { return o.appliedSeq.Load() }
 
 // maybeReset performs drift recovery when the estimated precision over a
 // full window drops below the floor. The cheap checks run lock-free; the
@@ -578,18 +701,30 @@ func (o *Online) SelfLabeled() int { return int(o.selfLabeled.Load()) }
 // Validated returns how many optimizer-validated points were inserted.
 func (o *Online) Validated() int { return int(o.validated.Load()) }
 
-// EncodeState persists the driver's learned state (the histogram synopsis
-// and insertion counters) to w. The sliding estimator windows are
-// deliberately not persisted — after a restart the framework re-estimates
-// precision from fresh predictions. Callers that feed the driver through an
-// asynchronous sink must drain it first so queued feedback is included.
+// EncodeState persists the driver's learned state (the histogram synopsis,
+// insertion counters, drift epoch and WAL watermark) to w. The sliding
+// estimator windows are deliberately not persisted — after a restart the
+// framework re-estimates precision from fresh predictions. Callers that
+// feed the driver through an asynchronous sink must drain it first so
+// queued feedback is included.
+//
+// The trailer is [4]int64{validated, selfLabeled, epoch, appliedSeq}.
+// Epoch and appliedSeq make a checkpoint self-describing for recovery: the
+// WAL replays only records past appliedSeq, interpreting their epochs
+// relative to the checkpoint's. Snapshots written by older builds carried
+// only the two insertion counters and fail to decode — the facade degrades
+// such templates to cold rather than guessing a watermark.
 func (o *Online) EncodeState(w io.Writer) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if err := o.pred.Encode(w); err != nil {
 		return err
 	}
-	return binary.Write(w, binary.LittleEndian, []int64{o.validated.Load(), o.selfLabeled.Load()})
+	trailer := [4]int64{
+		o.validated.Load(), o.selfLabeled.Load(),
+		o.resets.Load(), int64(o.appliedSeq.Load()),
+	}
+	return binary.Write(w, binary.LittleEndian, trailer[:])
 }
 
 // DecodeState restores a driver state written by EncodeState and publishes
@@ -604,15 +739,20 @@ func (o *Online) DecodeState(r io.Reader) error {
 		return fmt.Errorf("core: restored state has %d dims, driver expects %d",
 			pred.Config().Dims, o.cfg.Core.Dims)
 	}
-	var counters [2]int64
+	var counters [4]int64
 	if err := binary.Read(r, binary.LittleEndian, counters[:]); err != nil {
 		return err
+	}
+	if counters[3] < 0 {
+		return fmt.Errorf("core: restored state has negative applied sequence %d", counters[3])
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.pred = pred
 	o.validated.Store(counters[0])
 	o.selfLabeled.Store(counters[1])
+	o.resets.Store(counters[2])
+	o.appliedSeq.Store(uint64(counters[3]))
 	o.est.Reset()
 	o.publishLocked()
 	return nil

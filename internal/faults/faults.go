@@ -34,6 +34,15 @@ const (
 	// SnapshotCorruption flips a byte in a persisted snapshot payload,
 	// simulating storage corruption.
 	SnapshotCorruption
+	// WALShortWrite makes a WAL append land only a prefix of the frame and
+	// return an error, simulating a full disk or interrupted write.
+	WALShortWrite
+	// WALFsyncError makes a WAL fsync fail, simulating a storage layer that
+	// accepts writes but cannot flush them.
+	WALFsyncError
+	// WALTornTail writes a partial frame and then silences the log for the
+	// rest of the process lifetime, simulating power loss mid-append.
+	WALTornTail
 
 	numClasses
 )
@@ -42,6 +51,7 @@ const (
 var Classes = []Class{
 	OptimizerError, OptimizerLatency, ExecutorError,
 	LearnerMisprediction, SnapshotCorruption,
+	WALShortWrite, WALFsyncError, WALTornTail,
 }
 
 // String names the class.
@@ -57,6 +67,12 @@ func (c Class) String() string {
 		return "learner-misprediction"
 	case SnapshotCorruption:
 		return "snapshot-corruption"
+	case WALShortWrite:
+		return "wal-short-write"
+	case WALFsyncError:
+		return "wal-fsync-error"
+	case WALTornTail:
+		return "wal-torn-tail"
 	}
 	return fmt.Sprintf("faults.Class(%d)", int(c))
 }

@@ -37,6 +37,7 @@ type Registry struct {
 	templates map[string]*TemplateObs
 	ringSize  int
 	cache     CacheObs
+	wal       WALObs
 }
 
 // NewRegistry creates a registry whose templates keep the last ringSize
@@ -78,6 +79,9 @@ func (r *Registry) TemplateNames() []string {
 
 // Cache returns the shared plan cache's counters.
 func (r *Registry) Cache() *CacheObs { return &r.cache }
+
+// WAL returns the durability layer's counters.
+func (r *Registry) WAL() *WALObs { return &r.wal }
 
 // CacheObs counts shared-plan-cache traffic at the serving level: a hit is
 // a plan-tree resolution served from the cached tree, a miss is a

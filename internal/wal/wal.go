@@ -1,0 +1,750 @@
+// Package wal is the durability layer of the PPC runtime: an append-only,
+// segment-rotated write-ahead log of epoch-stamped feedback records. The
+// per-template feedback appliers log every labeled plan space point before
+// it enters the histogram synopsis, so a crash loses no acknowledged
+// training signal — recovery loads the latest checkpoint and replays only
+// the WAL tail (records newer than what the checkpoint's learners had
+// applied).
+//
+// Design constraints, in order:
+//
+//   - The hot predict path never touches disk. Appends happen under the
+//     learner write lock (core.Online.mu), which the lock-free serving path
+//     does not take; in steady state only the per-template background
+//     applier goroutines reach Append.
+//   - A torn tail (crash mid-record) is expected, not exceptional: Scan
+//     stops at the first invalid frame of the final segment and reports how
+//     many bytes it ignored; Open truncates the tear so the log is clean
+//     for the next writer.
+//   - Append-path failures degrade durability, never availability: the
+//     caller counts the error and keeps applying in memory.
+//
+// On-disk layout: dir/wal-<firstseq>.log segments, each opened by a magic
+// string and a version, followed by length-prefixed, CRC-32C-framed records
+// (the same Castagnoli framing convention as the snapshot envelopes in
+// persist.go):
+//
+//	segment: "PPCWAL\x00" u16 version | record*
+//	record:  u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u8 kind | u64 seq | i64 epoch | u16 len(template) template |
+//	         i64 plan | f64 cost | u8 selfLabeled | u16 dims | f64*dims
+//
+// Sequence numbers are global, monotonically increasing, and never reused;
+// segment file names carry the first sequence number the segment may
+// contain, so compaction can drop a fully checkpointed segment without
+// reading it.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+)
+
+const (
+	// segMagic opens every segment file.
+	segMagic = "PPCWAL\x00"
+	// segVersion is the current segment format version.
+	segVersion = 1
+	// headerSize is the segment header length in bytes.
+	headerSize = len(segMagic) + 2
+	// frameOverhead is the per-record framing cost (length + checksum).
+	frameOverhead = 8
+	// maxPayload bounds a declared record length so a corrupted length
+	// field cannot drive a huge allocation during scan.
+	maxPayload = 1 << 20
+	// minPayload is the smallest well-formed feedback payload: kind, seq,
+	// epoch, empty template, plan, cost, selfLabeled flag, zero dims.
+	minPayload = 1 + 8 + 8 + 2 + 8 + 8 + 1 + 2
+
+	// DefaultSegmentBytes rotates segments at 4 MiB.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSyncInterval is the fsync cadence under SyncInterval.
+	DefaultSyncInterval = 100 * time.Millisecond
+)
+
+// walCRC is the Castagnoli polynomial table (the same family as the
+// snapshot envelopes in persist.go and internal/core).
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordFeedback is the only record kind today; the kind byte exists so
+// future record types (e.g. logged drift resets) can share the framing.
+const RecordFeedback uint8 = 1
+
+// Record is one durable feedback point. Seq is assigned by Append; Epoch is
+// the learner's drift-reset epoch at the point's creation, which makes
+// replay reproduce reset semantics (a stale point is dropped, a point from
+// a newer epoch implies the resets between).
+type Record struct {
+	Seq         uint64
+	Epoch       int64
+	Template    string
+	Plan        int64
+	Cost        float64
+	SelfLabeled bool
+	Point       []float64
+}
+
+// SyncPolicy selects when Commit calls fsync. The zero value is SyncAlways:
+// a durability layer should be durable unless the operator opts out.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Commit (one Commit per apply batch, so
+	// group commit already amortizes the cost across the batch).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on the first Commit after SyncInterval has
+	// elapsed since the previous sync.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache (Close still syncs).
+	SyncNever
+)
+
+// String names the policy (flag parsing in cmd/ppcserve round-trips it).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("wal.SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy is the inverse of String.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Observer receives the log's operational events; the facade implements it
+// with the obsv registry's atomic counters. A nil observer is inert.
+type Observer interface {
+	// WALAppend records one appended record and its framed size in bytes.
+	WALAppend(bytes int)
+	// WALAppendError records a failed append (the record is not durable).
+	WALAppendError()
+	// WALSync records one fsync and its latency.
+	WALSync(d time.Duration)
+	// WALSyncError records a failed fsync.
+	WALSyncError()
+	// WALRotate records a segment rotation.
+	WALRotate()
+	// WALCompact records n segments deleted by compaction.
+	WALCompact(n int)
+	// WALTearDropped records a record silently lost after an injected torn
+	// tail (the log simulates a dead process and stops persisting).
+	WALTearDropped()
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the fsync cadence under SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// SegmentBytes rotates segments past this size (default 4 MiB).
+	SegmentBytes int64
+	// Faults optionally injects disk faults (short write, fsync error,
+	// torn tail). nil disables injection.
+	Faults *faults.Injector
+	// Observer receives operational events (nil disables).
+	Observer Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Recovery reports what Open (or Scan) found on disk.
+type Recovery struct {
+	// Records holds every valid record in sequence order.
+	Records []Record
+	// Segments counts the segment files scanned.
+	Segments int
+	// LastSeq is the highest valid sequence number found (0 when empty).
+	LastSeq uint64
+	// TornBytes counts bytes ignored after the last valid record of the
+	// final segment — the expected artifact of a crash mid-append.
+	TornBytes int64
+	// TornSegment names the file whose tail was torn ("" when clean).
+	TornSegment string
+	// Corrupt is true when damage beyond a torn tail was found (an invalid
+	// record in a non-final segment, an unreadable header). Scanning stops
+	// at the damage; later segments are quarantined by Open.
+	Corrupt bool
+	// Reason explains the corruption, empty when Corrupt is false.
+	Reason string
+	// QuarantinedSegments lists segments renamed aside because they follow
+	// mid-log damage and their records can no longer be ordered trustably.
+	QuarantinedSegments []string
+}
+
+// Log is the append side of the write-ahead log. Safe for concurrent use;
+// appends from the per-template appliers serialize on an internal mutex
+// (they are already off the serving path, so the lock is uncontended in
+// the latency-critical sense).
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64  // committed size of the current segment
+	seq      uint64 // last assigned sequence number
+	segFirst uint64 // first seq of the current segment (its name)
+	lastSync time.Time
+	dead     bool // an injected torn tail "crashed" the log: drop appends
+	closed   bool
+
+	scratch []byte // reusable frame encode buffer
+}
+
+// Open scans dir, truncates a torn tail so the log ends on a record
+// boundary, quarantines segments stranded behind mid-log damage, and
+// returns the log positioned to append after the last valid record. The
+// returned Recovery carries the valid records for replay.
+func Open(opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, tornPath, tornOff, err := scanDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Physically truncate the torn tail: the next reader must see a log
+	// that ends on a record boundary, or it would stop at our garbage. A
+	// tear inside the segment header (crash during rotation) leaves nothing
+	// recoverable in the file, so remove it rather than strand an empty
+	// shell a future scan would misread as mid-log damage.
+	if tornPath != "" {
+		if tornOff < int64(headerSize) {
+			if err := os.Remove(tornPath); err != nil {
+				return nil, nil, fmt.Errorf("wal: remove torn segment %s: %w", tornPath, err)
+			}
+		} else if err := os.Truncate(tornPath, tornOff); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", tornPath, err)
+		}
+	}
+	// Segments after mid-log damage are unreachable by a trustworthy scan;
+	// move them aside so they cannot shadow future appends.
+	if rec.Corrupt {
+		for _, name := range rec.QuarantinedSegments {
+			src := filepath.Join(opts.Dir, name)
+			// A rename failure leaves the segment in place; appends below
+			// use sequence numbers past everything scanned, so the stale
+			// file can only resurface as reported corruption, never as
+			// silently replayed data.
+			os.Rename(src, src+".corrupt") //nolint:errcheck
+		}
+	}
+	l := &Log{opts: opts, seq: rec.LastSeq, lastSync: time.Now()}
+	if err := l.rotateLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// Scan reads the valid records under dir without opening a writer (used by
+// tests and recovery audits). It never modifies the directory.
+func Scan(dir string) (*Recovery, error) {
+	rec, _, _, err := scanDir(dir)
+	return rec, err
+}
+
+// segments lists the segment files under dir in sequence order.
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return segFirstSeq(names[i]) < segFirstSeq(names[j]) })
+	return names, nil
+}
+
+// segFirstSeq parses the first sequence number out of a segment file name;
+// malformed names sort first and scan as corrupt.
+func segFirstSeq(name string) uint64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// segName formats a segment file name from its first sequence number.
+func segName(first uint64) string {
+	return fmt.Sprintf("wal-%020d.log", first)
+}
+
+// scanDir walks the segments in order and collects valid records. It
+// returns the recovery report plus, when the final segment has a torn
+// tail, the path and offset Open should truncate at.
+func scanDir(dir string) (*Recovery, string, int64, error) {
+	names, err := segments(dir)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	rec := &Recovery{Segments: len(names)}
+	tornPath, tornOff := "", int64(0)
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		last := i == len(names)-1
+		badReason, badOff, size := scanSegment(path, &rec.Records)
+		if badReason == "" {
+			continue
+		}
+		if last {
+			// Damage at the tail of the final segment: the expected crash
+			// artifact. Everything before the first bad frame is good.
+			rec.TornBytes = size - badOff
+			rec.TornSegment = name
+			tornPath, tornOff = path, badOff
+		} else {
+			// Damage followed by more segments: the stream is no longer
+			// trustworthy past this point. Stop and quarantine the rest.
+			rec.Corrupt = true
+			rec.Reason = fmt.Sprintf("segment %s: %s", name, badReason)
+			rec.QuarantinedSegments = append(rec.QuarantinedSegments, names[i+1:]...)
+			break
+		}
+	}
+	if n := len(rec.Records); n > 0 {
+		rec.LastSeq = rec.Records[n-1].Seq
+	}
+	return rec, tornPath, tornOff, nil
+}
+
+// scanSegment appends the segment's valid records to out. It returns a
+// non-empty reason and the offset of the first invalid frame when the
+// segment does not end cleanly; I/O errors opening or reading the file are
+// reported as badReason too (the caller treats them as damage, not as a
+// hard failure — a half-unlinked segment must degrade, not crash, the
+// recovery).
+func scanSegment(path string, out *[]Record) (badReason string, badOff int64, size int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Sprintf("open: %v", err), 0, 0
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Sprintf("read: %v", err), 0, 0
+	}
+	size = int64(len(data))
+	if len(data) < headerSize || string(data[:len(segMagic)]) != segMagic {
+		return "bad segment header", 0, size
+	}
+	if v := binary.LittleEndian.Uint16(data[len(segMagic):headerSize]); v != segVersion {
+		return fmt.Sprintf("unsupported segment version %d", v), 0, size
+	}
+	off := int64(headerSize)
+	buf := data[headerSize:]
+	for len(buf) > 0 {
+		rec, frameLen, reason := decodeFrame(buf)
+		if reason != "" {
+			return reason, off, size
+		}
+		*out = append(*out, rec)
+		off += int64(frameLen)
+		buf = buf[frameLen:]
+	}
+	return "", 0, size
+}
+
+// decodeFrame decodes one framed record from the head of buf, returning
+// the consumed frame length. A non-empty reason means the frame is invalid
+// (truncated, implausible length, checksum mismatch, malformed payload) —
+// scanning stops there.
+func decodeFrame(buf []byte) (Record, int, string) {
+	if len(buf) < frameOverhead {
+		return Record{}, 0, fmt.Sprintf("truncated frame header (%d bytes)", len(buf))
+	}
+	payLen := binary.LittleEndian.Uint32(buf[0:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if payLen < minPayload || payLen > maxPayload {
+		return Record{}, 0, fmt.Sprintf("implausible record length %d", payLen)
+	}
+	if len(buf) < frameOverhead+int(payLen) {
+		return Record{}, 0, fmt.Sprintf("truncated record (%d of %d payload bytes)", len(buf)-frameOverhead, payLen)
+	}
+	payload := buf[frameOverhead : frameOverhead+int(payLen)]
+	if got := crc32.Checksum(payload, walCRC); got != sum {
+		return Record{}, 0, fmt.Sprintf("record checksum mismatch: got %08x want %08x", got, sum)
+	}
+	rec, reason := decodePayload(payload)
+	if reason != "" {
+		return Record{}, 0, reason
+	}
+	return rec, frameOverhead + int(payLen), ""
+}
+
+// decodePayload decodes the checksummed record body.
+func decodePayload(p []byte) (Record, string) {
+	le := binary.LittleEndian
+	if p[0] != RecordFeedback {
+		return Record{}, fmt.Sprintf("unknown record kind %d", p[0])
+	}
+	off := 1
+	rec := Record{}
+	rec.Seq = le.Uint64(p[off:])
+	off += 8
+	rec.Epoch = int64(le.Uint64(p[off:]))
+	off += 8
+	tl := int(le.Uint16(p[off:]))
+	off += 2
+	// Fixed tail after the template name: plan, cost, flag, dim count.
+	if off+tl+8+8+1+2 > len(p) {
+		return Record{}, "record payload shorter than its template name"
+	}
+	rec.Template = string(p[off : off+tl])
+	off += tl
+	rec.Plan = int64(le.Uint64(p[off:]))
+	off += 8
+	rec.Cost = math.Float64frombits(le.Uint64(p[off:]))
+	off += 8
+	rec.SelfLabeled = p[off] != 0
+	off++
+	dims := int(le.Uint16(p[off:]))
+	off += 2
+	if off+8*dims != len(p) {
+		return Record{}, fmt.Sprintf("record dims %d disagree with payload length", dims)
+	}
+	rec.Point = make([]float64, dims)
+	for i := 0; i < dims; i++ {
+		rec.Point[i] = math.Float64frombits(le.Uint64(p[off:]))
+		off += 8
+	}
+	return rec, ""
+}
+
+// encodeFrame encodes rec's framed bytes into buf (reusing its capacity)
+// and returns the frame.
+func encodeFrame(buf []byte, rec *Record) []byte {
+	le := binary.LittleEndian
+	payLen := minPayload + len(rec.Template) + 8*len(rec.Point)
+	need := frameOverhead + payLen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	frame := buf[:need]
+	le.PutUint32(frame[0:4], uint32(payLen))
+	p := frame[frameOverhead:]
+	p[0] = RecordFeedback
+	off := 1
+	le.PutUint64(p[off:], rec.Seq)
+	off += 8
+	le.PutUint64(p[off:], uint64(rec.Epoch))
+	off += 8
+	le.PutUint16(p[off:], uint16(len(rec.Template)))
+	off += 2
+	copy(p[off:], rec.Template)
+	off += len(rec.Template)
+	le.PutUint64(p[off:], uint64(rec.Plan))
+	off += 8
+	le.PutUint64(p[off:], math.Float64bits(rec.Cost))
+	off += 8
+	if rec.SelfLabeled {
+		p[off] = 1
+	} else {
+		p[off] = 0
+	}
+	off++
+	le.PutUint16(p[off:], uint16(len(rec.Point)))
+	off += 2
+	for _, v := range rec.Point {
+		le.PutUint64(p[off:], math.Float64bits(v))
+		off += 8
+	}
+	le.PutUint32(frame[4:8], crc32.Checksum(p, walCRC))
+	return frame
+}
+
+// Append assigns rec the next sequence number and writes its frame to the
+// current segment, rotating first if the segment is full. The write lands
+// in the OS page cache; durability is Commit's job. On failure the segment
+// is truncated back to the last good record boundary so the log stays
+// well-formed, and the error is returned for the caller to count — the
+// in-memory learner keeps going either way.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if l.dead {
+		// An injected torn tail "crashed" this log: from the disk's point
+		// of view the process died mid-record, so nothing after the tear
+		// may land. The in-memory system keeps serving.
+		l.observer().WALTearDropped()
+		return 0, nil
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.observer().WALAppendError()
+			return 0, err
+		}
+	}
+	rec.Seq = l.seq + 1
+	l.scratch = encodeFrame(l.scratch, rec)
+	frame := l.scratch
+
+	if l.opts.Faults.Should(faults.WALTornTail) && len(frame) > 1 {
+		// Simulated power loss mid-append: a prefix of the frame reaches
+		// the disk, the rest — and every later append — does not. Replay
+		// must truncate the tear and recover everything before it.
+		cut := 1 + l.opts.Faults.Intn(len(frame)-1)
+		l.f.Write(frame[:cut]) //nolint:errcheck
+		l.dead = true
+		l.observer().WALTearDropped()
+		return 0, nil
+	}
+	if l.opts.Faults.Should(faults.WALShortWrite) {
+		// Simulated short write: half the frame lands, the write errors.
+		// Repair by truncating back to the last record boundary so the
+		// segment stays scannable; the record is reported lost.
+		l.f.Write(frame[:len(frame)/2]) //nolint:errcheck
+		if err := l.repairLocked(); err != nil {
+			return 0, err
+		}
+		l.observer().WALAppendError()
+		return 0, fmt.Errorf("wal: short write: %w", faults.ErrInjected)
+	}
+
+	n, err := l.f.Write(frame)
+	if err != nil || n != len(frame) {
+		if rerr := l.repairLocked(); rerr != nil {
+			return 0, rerr
+		}
+		l.observer().WALAppendError()
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq = rec.Seq
+	l.size += int64(len(frame))
+	l.observer().WALAppend(len(frame))
+	return rec.Seq, nil
+}
+
+// repairLocked truncates the current segment back to the last committed
+// record boundary after a failed or partial write.
+func (l *Log) repairLocked() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.dead = true
+		l.observer().WALAppendError()
+		return fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.dead = true
+		l.observer().WALAppendError()
+		return fmt.Errorf("wal: repair seek: %w", err)
+	}
+	return nil
+}
+
+// Commit is the group-commit barrier the applier calls once per apply
+// batch: under SyncAlways it fsyncs now, under SyncInterval it fsyncs when
+// the interval has elapsed, under SyncNever it is a no-op.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncInterval {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs unconditionally (shutdown flushes and explicit barriers).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed || l.dead || l.f == nil {
+		return nil
+	}
+	if err := l.opts.Faults.Fail(faults.WALFsyncError); err != nil {
+		l.observer().WALSyncError()
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.observer().WALSyncError()
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.lastSync = time.Now()
+	l.observer().WALSync(time.Since(t0))
+	return nil
+}
+
+// rotateLocked closes the current segment and opens a fresh one named by
+// the next sequence number.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		l.f.Sync()  //nolint:errcheck
+		l.f.Close() //nolint:errcheck
+		l.observer().WALRotate()
+	}
+	first := l.seq + 1
+	path := filepath.Join(l.opts.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close() //nolint:errcheck
+		return fmt.Errorf("wal: stat segment: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		// Fresh segment: write the header. A non-empty file at this name is
+		// the scanned (and repaired) tail segment whose records all predate
+		// first — keep appending after them rather than double-writing the
+		// header.
+		var hdr [headerSize]byte
+		copy(hdr[:], segMagic)
+		binary.LittleEndian.PutUint16(hdr[len(segMagic):], segVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close() //nolint:errcheck
+			return fmt.Errorf("wal: write segment header: %w", err)
+		}
+		size = int64(headerSize)
+	}
+	l.f = f
+	l.size = size
+	l.segFirst = first
+	return nil
+}
+
+// Compact deletes segments whose every record is covered by a checkpoint —
+// those entirely below minSeq. The segment holding minSeq, anything after
+// it, and the live segment always survive. Returns how many were removed.
+func (l *Log) Compact(minSeq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names, err := segments(l.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(names); i++ {
+		// All records in names[i] have seq < firstSeq(names[i+1]); the
+		// segment is obsolete when even its last record is <= minSeq.
+		if segFirstSeq(names[i+1]) > minSeq+1 {
+			break
+		}
+		if segFirstSeq(names[i]) == l.segFirst {
+			break // never unlink the live segment
+		}
+		if err := os.Remove(filepath.Join(l.opts.Dir, names[i])); err != nil {
+			return removed, fmt.Errorf("wal: compact: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		l.observer().WALCompact(removed)
+	}
+	return removed, nil
+}
+
+// LastSeq returns the highest sequence number assigned so far.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dir returns the segment directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Close syncs and closes the current segment. Further appends error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if !l.dead {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// observer returns the configured observer or an inert one.
+func (l *Log) observer() Observer {
+	if l.opts.Observer != nil {
+		return l.opts.Observer
+	}
+	return noopObserver{}
+}
+
+type noopObserver struct{}
+
+func (noopObserver) WALAppend(int)            {}
+func (noopObserver) WALAppendError()          {}
+func (noopObserver) WALSync(time.Duration)    {}
+func (noopObserver) WALSyncError()            {}
+func (noopObserver) WALRotate()               {}
+func (noopObserver) WALCompact(int)           {}
+func (noopObserver) WALTearDropped()          {}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"repro/internal/optimizer"
 )
@@ -71,11 +72,13 @@ type savedPlan struct {
 	Print    string
 }
 
-// LoadReport describes what LoadState recovered from a snapshot.
+// LoadReport describes what LoadState recovered from a snapshot and — when
+// durability is enabled — what the WAL tail replay added on top of it.
 type LoadReport struct {
 	// Corrupt is true when the snapshot failed validation (bad magic,
 	// truncation, checksum mismatch, undecodable payload) and the System
-	// stayed (fully or partially) cold.
+	// stayed (fully or partially) cold, or when the WAL carried damage
+	// beyond an ordinary torn tail.
 	Corrupt bool
 	// Reason explains the detected corruption, empty when Corrupt is false.
 	Reason string
@@ -85,6 +88,33 @@ type LoadReport struct {
 	// Templates and Plans count what was successfully restored.
 	Templates int
 	Plans     int
+
+	// WALEnabled reports whether the fields below are meaningful (the
+	// System was opened with a Durability directory).
+	WALEnabled bool
+	// WALSegments counts the log segments scanned during recovery.
+	WALSegments int
+	// WALReplayed counts records applied into learners; WALSkipped the
+	// records already covered by the checkpoint's watermarks; WALStale the
+	// records dropped because a drift reset (or a template shape change)
+	// superseded them.
+	WALReplayed int
+	WALSkipped  int
+	WALStale    int
+	// WALPending counts recovered records whose template is not registered
+	// yet; they are applied when the template is registered and move into
+	// the counters above.
+	WALPending int
+	// WALTornBytes and WALTornSegment report the torn tail Open truncated —
+	// the expected artifact of a crash mid-append, not corruption.
+	WALTornBytes   int64
+	WALTornSegment string
+	// WALQuarantined lists segments moved aside because mid-log damage made
+	// their ordering untrustworthy.
+	WALQuarantined []string
+	// RecoveryDuration is the wall time of the whole recovery sequence:
+	// WAL scan and repair, checkpoint load, and tail replay.
+	RecoveryDuration time.Duration
 }
 
 // LoadStateReport returns the report of the most recent LoadState call, or

@@ -42,6 +42,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sqlparse"
 	"repro/internal/tpch"
+	"repro/internal/wal"
 )
 
 // Options configures a System.
@@ -94,6 +95,11 @@ type Options struct {
 	// feedback point applies inline before its Run returns, restoring
 	// strictly deterministic serial behaviour for experiments.
 	FeedbackQueue int
+	// Durability enables the write-ahead log and checkpoint layer when its
+	// Dir is non-empty: Open recovers the latest checkpoint plus the WAL
+	// tail, and every applied feedback point is logged before it enters the
+	// synopsis. See the Durability type for the recovery contract.
+	Durability Durability
 }
 
 func (o Options) withDefaults() Options {
@@ -175,6 +181,18 @@ type System struct {
 	// cacheObs caches the registry's shared-cache counters for the hot path.
 	obs      *obsv.Registry
 	cacheObs *obsv.CacheObs
+
+	// Durability layer (nil/zero when Options.Durability.Dir is empty).
+	// wal is the shared feedback log; walObs its metrics; walPending holds
+	// replayed records for templates the checkpoint did not contain, keyed
+	// by template name and guarded by regMu (consumed at registration).
+	wal        *wal.Log
+	walObs     *obsv.WALObs
+	walPending map[string][]core.Feedback
+	// checkpointStop/Done bracket the background checkpointer goroutine.
+	checkpointStop chan struct{}
+	checkpointDone chan struct{}
+	checkpointOnce sync.Once
 
 	opts Options
 }
@@ -408,6 +426,14 @@ func Open(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.cache = cache
+	if opts.Durability.Dir != "" {
+		if err := s.openDurable(); err != nil {
+			if s.wal != nil {
+				s.wal.Close() //nolint:errcheck
+			}
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -463,6 +489,9 @@ func (s *System) registerLocked(name, sql string) error {
 		return err
 	}
 	online.SetFaults(s.opts.Faults)
+	if s.wal != nil {
+		online.SetWAL(&walSink{log: s.wal, template: name})
+	}
 	st := &templateState{tmpl: tmpl, online: online, env: env, obs: s.obs.Template(name)}
 	env.st = st
 	if !s.opts.DisableBreaker {
@@ -479,13 +508,23 @@ func (s *System) registerLocked(name, sql string) error {
 		go st.applyLoop()
 	}
 	s.templates[name] = st
+	// Replay any WAL records recovered for this template before the
+	// checkpoint knew it (or because the checkpoint was corrupt) — the
+	// template serves warm from its first Run.
+	if s.wal != nil {
+		s.replayPendingLocked(name, st)
+	}
 	return nil
 }
 
 // Close stops every template's background apply goroutine after draining
-// its mailbox. The System stays usable — subsequent Runs apply feedback
-// synchronously on the serving goroutine — and Close is idempotent.
+// its mailbox, then — when durability is enabled — stops the background
+// checkpointer, takes a final checkpoint and closes the WAL, so a restart
+// replays nothing. The System stays usable for in-memory serving
+// (subsequent Runs apply feedback synchronously, without logging) and
+// Close is idempotent.
 func (s *System) Close() error {
+	s.stopCheckpointer()
 	s.regMu.RLock()
 	states := make([]*templateState, 0, len(s.templates))
 	for _, st := range s.templates {
@@ -495,13 +534,21 @@ func (s *System) Close() error {
 	for _, st := range states {
 		st.shutdown()
 	}
-	return nil
+	return s.closeDurable()
 }
 
-// RegisterStandard registers the paper's Q0–Q8 templates.
+// RegisterStandard registers the paper's Q0–Q8 templates. Templates that
+// already exist are left alone rather than treated as errors, so it is safe
+// to call after crash recovery restored some (or all) of them from a
+// checkpoint — the idiom every durable restart uses.
 func (s *System) RegisterStandard() error {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	for _, d := range queries.Defs {
-		if err := s.Register(d.Name, d.SQL); err != nil {
+		if _, dup := s.templates[d.Name]; dup {
+			continue
+		}
+		if err := s.registerLocked(d.Name, d.SQL); err != nil {
 			return err
 		}
 	}
@@ -883,6 +930,14 @@ type Stats struct {
 	Recall          float64
 	RecallKnown     bool
 	Resets          int
+	// Validated and SelfLabeled count insertions by provenance (lifetime,
+	// checkpoint-restored). Crash-recovery audits compare them against the
+	// acknowledged feedback history.
+	Validated   int
+	SelfLabeled int
+	// AppliedSeq is the WAL sequence number of the newest feedback point in
+	// the synopsis (0 when durability is disabled or nothing was logged).
+	AppliedSeq uint64
 }
 
 // TemplateStats reports the online learner's state for one template. It
@@ -903,6 +958,9 @@ func (s *System) TemplateStats(template string) (out Stats, err error) {
 		SamplesAbsorbed: model.TotalPoints(),
 		SynopsisBytes:   model.MemoryBytes(),
 		Resets:          st.online.Resets(),
+		Validated:       st.online.Validated(),
+		SelfLabeled:     st.online.SelfLabeled(),
+		AppliedSeq:      st.online.AppliedSeq(),
 	}
 	out.Precision, out.PrecisionKnown = est.Precision()
 	out.Recall, out.RecallKnown = est.Recall()
@@ -1011,6 +1069,9 @@ type MetricsSnapshot struct {
 	Schema    string            `json:"schema"`
 	Templates []TemplateMetrics `json:"templates"`
 	Cache     CacheMetrics      `json:"cache"`
+	// WAL carries the durability layer's counters; nil (omitted) when
+	// durability is disabled. Additive — the schema version is unchanged.
+	WAL *obsv.WALSnapshot `json:"wal,omitempty"`
 }
 
 // MetricsSnapshot assembles the current metrics across all templates. Each
@@ -1066,6 +1127,7 @@ func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
 	snap.Cache.Capacity = s.cache.Capacity()
 	s.cacheMu.RUnlock()
 	snap.Cache.CacheSnapshot = s.cacheObs.Snapshot()
+	snap.WAL = s.WALMetrics()
 	return snap, nil
 }
 
