@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos crash fuzz bench benchcmp clean
+.PHONY: tier1 build vet test race chaos crash fuzz bench benchcmp profile clean
 
 # Per-target budget for the fuzz smoke (`make fuzz FUZZTIME=2m` to go deep).
 FUZZTIME ?= 15s
@@ -9,17 +9,22 @@ FUZZTIME ?= 15s
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR5.json
+BENCH_OUT  ?= BENCH_PR7.json
+
+# Where `make profile` drops its pprof output.
+PROFILE_DIR ?= profiles
 
 # The gate: build, vet, the full test suite under the race detector, and the
-# serving-path zero-allocation guard (a separate non-race invocation: the
-# race runtime's bookkeeping inflates allocation counts, so the guard skips
-# itself under -race).
+# allocation guards (a separate non-race invocation: the race runtime's
+# bookkeeping inflates allocation counts, so the guards skip themselves
+# under -race). TestServingPathZeroAlloc holds predict/insert/WAL-append at
+# exactly zero allocs; TestRunPathAllocBudget holds the full batched Run
+# path under its 500 allocs/op budget.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run TestServingPathZeroAlloc -count=1 .
+	$(GO) test -run 'TestServingPathZeroAlloc|TestRunPathAllocBudget' -count=1 .
 
 build:
 	$(GO) build ./...
@@ -61,6 +66,16 @@ bench:
 # Benchcmp-style diff of two stored bench reports.
 benchcmp:
 	$(GO) run ./cmd/ppcbench -benchcmp $(OLD) $(NEW)
+
+# CPU and heap profiles of the end-to-end Run path, for chasing where the
+# serving-path time goes (`go tool pprof $(PROFILE_DIR)/run.cpu.pprof`).
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench BenchmarkEndToEndRun -benchmem \
+		-cpuprofile $(PROFILE_DIR)/run.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/run.mem.pprof \
+		-o $(PROFILE_DIR)/ppc.test .
+	@echo "profiles written to $(PROFILE_DIR)/"
 
 clean:
 	$(GO) clean ./...

@@ -24,3 +24,22 @@ func TestServingPathZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunPathAllocBudget holds the full Run path to the PR 7 allocation
+// budget: under 500 allocs/op end to end (predict, rebind, batched
+// execute, result materialization), down from ~6,800 in the per-row
+// executor. The budget is deliberately loose against the measured steady
+// state (~15 allocs/op) so it only fires on structural regressions — a
+// per-row or per-batch allocation sneaking back into an operator — not on
+// scheduler noise.
+func TestRunPathAllocBudget(t *testing.T) {
+	if benchsuite.RaceEnabled {
+		t.Skip("race detector's shadow memory inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard runs full benchmarks; skipped in -short")
+	}
+	if err := benchsuite.CheckAllocBudget(os.Stderr, "EndToEndRun", 500); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,11 @@ func BenchmarkInsertApproxLSHHist(b *testing.B)  { benchsuite.InsertApproxLSHHis
 func BenchmarkEndToEndRun(b *testing.B)          { benchsuite.EndToEndRun(b) }
 func BenchmarkRunMixedSerial(b *testing.B)       { benchsuite.RunMixedSerial(b) }
 
+// BenchmarkRebindCachedPlan isolates the cache-hit rebind: re-costing a
+// cached plan's rebind program at fresh parameter values, O(params) work
+// with no prediction or execution attached.
+func BenchmarkRebindCachedPlan(b *testing.B) { benchsuite.RebindCachedPlan(b) }
+
 // BenchmarkRunWithWAL is BenchmarkEndToEndRun on a durability-enabled
 // System: the same steady-state Q1 workload with every validated feedback
 // point logged to the WAL (SyncInterval group commit). The ratio against

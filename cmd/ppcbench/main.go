@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ppcbench [-scale N] [-seed S] [-frac F] [-list] [experiment ...]
-//	ppcbench -bench [-baseline FILE] [-benchout FILE] [-metrics] [-regress PCT]
+//	ppcbench -bench [-baseline FILE] [-benchout FILE] [-metrics] [-regress PCT] [-regressbench RE]
 //	ppcbench -benchcmp [-regress PCT] OLD.json NEW.json
 //
 // With no experiment arguments it runs the full suite in paper order. Each
@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"time"
 
 	"repro/internal/benchsuite"
@@ -50,6 +51,7 @@ func main() {
 	benchCmp := flag.Bool("benchcmp", false, "diff two bench report JSON files: ppcbench -benchcmp OLD NEW")
 	withMetrics := flag.Bool("metrics", false, "with -bench: embed the serving-path metrics snapshot in the report")
 	regress := flag.Float64("regress", 0, "with -bench -baseline or -benchcmp: exit 2 if any benchmark's ns/op regressed more than this percent (0 disables)")
+	regressBench := flag.String("regressbench", "", "with -regress: only gate benchmarks whose name matches this regexp (empty gates all)")
 	flag.Parse()
 
 	if *benchCmp {
@@ -65,11 +67,11 @@ func main() {
 			fatal(err)
 		}
 		benchsuite.WriteComparison(os.Stdout, old, cur)
-		failOnRegressions(benchsuite.Compare(old, cur), *regress)
+		failOnRegressions(benchsuite.Compare(old, cur), *regress, *regressBench)
 		return
 	}
 	if *bench {
-		if err := runBenchSuite(*baseline, *benchOut, *withMetrics, *regress); err != nil {
+		if err := runBenchSuite(*baseline, *benchOut, *withMetrics, *regress, *regressBench); err != nil {
 			fatal(err)
 		}
 		return
@@ -121,7 +123,7 @@ func main() {
 // JSON report to outPath (stdout when empty). With regressPct > 0 and a
 // baseline, the process exits 2 after writing the report if any benchmark
 // regressed beyond the threshold.
-func runBenchSuite(baselinePath, outPath string, withMetrics bool, regressPct float64) error {
+func runBenchSuite(baselinePath, outPath string, withMetrics bool, regressPct float64, regressBench string) error {
 	rep, err := benchsuite.RunSuite(os.Stderr)
 	if err != nil {
 		return err
@@ -158,15 +160,31 @@ func runBenchSuite(baselinePath, outPath string, withMetrics bool, regressPct fl
 	if outPath != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
-	failOnRegressions(rep.Deltas, regressPct)
+	failOnRegressions(rep.Deltas, regressPct, regressBench)
 	return nil
 }
 
 // failOnRegressions exits with status 2 when any delta's ns/op regression
-// exceeds pct percent. pct <= 0 disables the gate.
-func failOnRegressions(deltas []benchsuite.Delta, pct float64) {
+// exceeds pct percent. pct <= 0 disables the gate. A non-empty nameRe
+// restricts the gate to matching benchmark names, so CI can gate the
+// macro end-to-end benchmarks without flaking on sub-microsecond
+// benchmarks whose relative ns/op swings with host noise.
+func failOnRegressions(deltas []benchsuite.Delta, pct float64, nameRe string) {
 	if pct <= 0 {
 		return
+	}
+	if nameRe != "" {
+		re, err := regexp.Compile(nameRe)
+		if err != nil {
+			fatal(fmt.Errorf("-regressbench: %w", err))
+		}
+		var kept []benchsuite.Delta
+		for _, d := range deltas {
+			if re.MatchString(d.Name) {
+				kept = append(kept, d)
+			}
+		}
+		deltas = kept
 	}
 	bad := benchsuite.Regressions(deltas, pct)
 	if len(bad) == 0 {

@@ -47,6 +47,31 @@ func CheckZeroAlloc(progress io.Writer, names ...string) error {
 	return nil
 }
 
+// CheckAllocBudget measures one suite entry and returns an error if it
+// allocates more than budget allocs/op. Unlike CheckZeroAlloc this is for
+// paths that legitimately allocate (the full Run path materializes result
+// rows) but whose allocation count is a budgeted contract: PR 7 holds
+// EndToEndRun under 500 allocs/op, down from ~6,800 in the per-row
+// executor, and this guard keeps the batched operators from backsliding.
+func CheckAllocBudget(progress io.Writer, name string, budget float64) error {
+	fn, ok := find(name)
+	if !ok {
+		return fmt.Errorf("benchsuite: unknown benchmark %q", name)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "alloc budget: %s (<= %.0f allocs/op)...\n", name, budget)
+	}
+	res, err := Measure(name, fn)
+	if err != nil {
+		return err
+	}
+	if res.AllocsPerOp > budget {
+		return fmt.Errorf("benchsuite: %s allocated %.0f allocs/op (%.0f B/op), budget is %.0f",
+			name, res.AllocsPerOp, res.BytesPerOp, budget)
+	}
+	return nil
+}
+
 // find resolves a suite entry by name.
 func find(name string) (func(*testing.B), bool) {
 	for _, entry := range Suite {

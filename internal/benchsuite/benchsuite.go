@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/optimizer"
 	"repro/internal/queries"
 	"repro/internal/tpch"
 	"repro/internal/wal"
@@ -506,4 +507,76 @@ func RunParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// --- Rebind microbenchmark substrate ---------------------------------------
+
+var (
+	rebindOnce sync.Once
+	rebindErr  error
+	rebindOpt  *optimizer.Optimizer
+	rebindProg *optimizer.RebindProgram
+	rebindVals [][]float64
+)
+
+// rebindEnv compiles one Q1 plan into a rebind program and prepares a
+// trajectory of instance values to probe it with.
+func rebindEnv(b *testing.B) (*optimizer.RebindProgram, [][]float64) {
+	b.Helper()
+	rebindOnce.Do(func() {
+		env, err := experiments.NewEnv(2000, 5)
+		if err != nil {
+			rebindErr = err
+			return
+		}
+		tmpl := env.Templates["Q1"]
+		inst, err := env.Opt.InstanceAt(tmpl, []float64{0.4, 0.4})
+		if err != nil {
+			rebindErr = err
+			return
+		}
+		plan, err := env.Opt.OptimizeInstance(inst)
+		if err != nil {
+			rebindErr = err
+			return
+		}
+		prog, err := env.Opt.CompileRebind(tmpl.Query, plan)
+		if err != nil {
+			rebindErr = err
+			return
+		}
+		points := workload.MustTrajectories(workload.TrajectoryConfig{
+			Dims: tmpl.Degree(), NumPoints: 256, Sigma: 0.01, Seed: 11,
+		})
+		vals := make([][]float64, len(points))
+		for i, p := range points {
+			pi, err := env.Opt.InstanceAt(tmpl, p)
+			if err != nil {
+				rebindErr = err
+				return
+			}
+			vals[i] = pi.Values
+		}
+		rebindOpt, rebindProg, rebindVals = env.Opt, prog, vals
+	})
+	if rebindErr != nil {
+		b.Fatal(rebindErr)
+	}
+	return rebindProg, rebindVals
+}
+
+// RebindCachedPlan measures the memoized rebind in isolation: the
+// O(params) work a cache hit performs to re-cost its cached plan at fresh
+// parameter values, with no prediction or execution attached. This is the
+// piece PR 7 turned from a full plan-tree clone into a pooled in-place
+// bind, so it gets its own line in the report (rebind_ns).
+func RebindCachedPlan(b *testing.B) {
+	prog, vals := rebindEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Recost(rebindOpt, vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -24,6 +24,7 @@ var Suite = []struct {
 	{"InsertApproxLSHHist", InsertApproxLSHHist},
 	{"WALAppend", WALAppend},
 	{"EndToEndRun", EndToEndRun},
+	{"RebindCachedPlan", RebindCachedPlan},
 	{"RunWithWAL", RunWithWAL},
 	{"RunMixedSerial", RunMixedSerial},
 	{"RunParallel", RunParallel},
@@ -86,6 +87,12 @@ type Report struct {
 	WALOverhead      float64 `json:"wal_overhead,omitempty"`
 	RecoveryMs       float64 `json:"recovery_ms,omitempty"`
 	RecoveryReplayed int     `json:"recovery_replayed,omitempty"`
+	// RunAllocsPerOp surfaces EndToEndRun's allocation count at the top
+	// level, and RebindNs the RebindCachedPlan ns/op — the two numbers the
+	// PR 7 batched-executor work is budgeted against (the alloc guard
+	// enforces RunAllocsPerOp <= 500 in tier 1).
+	RunAllocsPerOp float64 `json:"run_allocs_per_op,omitempty"`
+	RebindNs       float64 `json:"rebind_ns,omitempty"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -128,6 +135,12 @@ func RunSuite(progress io.Writer) (Report, error) {
 	walRes, okW := rep.Find("RunWithWAL")
 	if okO && okW && one.NsPerOp > 0 {
 		rep.WALOverhead = walRes.NsPerOp / one.NsPerOp
+	}
+	if okO {
+		rep.RunAllocsPerOp = one.AllocsPerOp
+	}
+	if rb, ok := rep.Find("RebindCachedPlan"); ok {
+		rep.RebindNs = rb.NsPerOp
 	}
 	if progress != nil {
 		fmt.Fprintln(progress, "measuring crash recovery...")

@@ -1,0 +1,223 @@
+package executor
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/tpch"
+)
+
+// batchSize is the number of candidate rows a scan filters per mask pass.
+// 1024 int32 row ids plus the bool mask fit comfortably in L1 while keeping
+// the per-batch loop overhead negligible against per-row work; it matches
+// the batch sizes vectorized engines converge on for the same reason.
+const batchSize = 1024
+
+// Arena is the per-execution scratch of one CompiledPlan: tuple selection
+// vectors, the batch filter mask, join hash tables and sort permutations,
+// and aggregation accumulators. Arenas are checked out of the plan's
+// sync.Pool for the duration of one Exec, so concurrent executions never
+// share one; all slices retain their capacity across executions, which is
+// what drives steady-state allocations toward zero.
+//
+// Join and sort scratch is shared by every join in the plan rather than
+// allocated per operator: execution is strictly sequential bottom-up, and a
+// join's hash table or permutation is dead once the join has produced its
+// output vectors, so the next join can reuse the same buffers.
+type Arena struct {
+	// vecs holds one row-id vector per compile-time slot. A node's output
+	// tuple t is the cross-section vecs[slot][t] over the node's slots (one
+	// slot per base relation, late materialization).
+	vecs [][]int32
+	// mask is the batch filter mask, batchSize wide.
+	mask []bool
+
+	// Hash join scratch: chained hash tables in insertion order. The table
+	// entry packs head<<32|tail of the bucket's chain through next. Numeric
+	// keys go through the open-addressed htN (a Go map spends most of the
+	// probe in hashing and bucket dispatch); string keys keep a Go map.
+	next []int32
+	htN  f64HT
+	htS  map[string]int64
+
+	// Merge join scratch: one stable sort permutation and key cache per
+	// side.
+	sorter permSorter
+	permA  []int32
+	permB  []int32
+	keysA  []float64
+	keysB  []float64
+
+	// Aggregation scratch: group index keyed by the encoded group key, the
+	// key encoding buffer, first-seen group keys, and flat accumulators
+	// (counts per group; sums/mins/maxs per group x spec). groupsN is the
+	// single-numeric-column fast path: keyed on the raw float bits, which is
+	// exactly the byte encoding groups would see, minus the encoding.
+	groups    map[string]int32
+	groupsN   map[uint64]int32
+	keyBuf    []byte
+	groupKeys []Value
+	counts    []float64
+	sums      []float64
+	mins      []float64
+	maxs      []float64
+}
+
+// newArena sizes an arena for one compiled plan.
+func newArena(cp *CompiledPlan) *Arena {
+	ar := &Arena{
+		vecs: make([][]int32, cp.nSlots),
+		mask: make([]bool, batchSize),
+	}
+	if cp.needHTStr {
+		ar.htS = make(map[string]int64)
+	}
+	if cp.agg != nil {
+		if cp.agg.numKey() {
+			ar.groupsN = make(map[uint64]int32)
+		} else {
+			ar.groups = make(map[string]int32)
+		}
+	}
+	return ar
+}
+
+// f64HT is the numeric hash-join table: open addressing with linear
+// probing over power-of-two slots, keyed by float equality (so, like the
+// row engine's map, NaN keys insert distinct buckets and never match a
+// probe, and ±0 share one bucket via normalization at the call sites).
+// ents packs head<<32|tail of the bucket's chain; -1 marks an empty slot.
+type f64HT struct {
+	keys  []float64
+	ents  []int64
+	shift uint
+}
+
+// f64HashK scrambles the key bits; the high bits index the table.
+const f64HashK = 0x9e3779b97f4a7c15
+
+// reset sizes the table for n build rows at load factor <= 1/2 and marks
+// every slot empty. Capacity is retained across executions.
+func (t *f64HT) reset(n int) {
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	if size > cap(t.ents) {
+		t.keys = make([]float64, size)
+		t.ents = make([]int64, size)
+	} else {
+		t.keys = t.keys[:size]
+		t.ents = t.ents[:size]
+	}
+	for i := range t.ents {
+		t.ents[i] = -1
+	}
+	t.shift = uint(64 - bits.TrailingZeros(uint(size)))
+}
+
+// insert adds build row i under key k, appending to the key's chain (in
+// insertion order) through next.
+func (t *f64HT) insert(k float64, i int32, next []int32) {
+	mask := uint64(len(t.ents) - 1)
+	j := (math.Float64bits(k) * f64HashK) >> t.shift
+	for {
+		e := t.ents[j]
+		if e < 0 {
+			t.keys[j] = k
+			t.ents[j] = int64(i)<<32 | int64(i)
+			return
+		}
+		if t.keys[j] == k {
+			next[e&0xffffffff] = i
+			t.ents[j] = e&^0xffffffff | int64(i)
+			return
+		}
+		j = (j + 1) & mask
+	}
+}
+
+// lookup returns the packed chain entry for k, or -1.
+func (t *f64HT) lookup(k float64) int64 {
+	mask := uint64(len(t.ents) - 1)
+	j := (math.Float64bits(k) * f64HashK) >> t.shift
+	for {
+		e := t.ents[j]
+		if e < 0 {
+			return -1
+		}
+		if t.keys[j] == k {
+			return e
+		}
+		j = (j + 1) & mask
+	}
+}
+
+// chain ensures the hash-join chain array has n entries.
+func (ar *Arena) chain(n int) []int32 {
+	if cap(ar.next) < n {
+		ar.next = make([]int32, n)
+	}
+	ar.next = ar.next[:n]
+	return ar.next
+}
+
+// permKeys sizes a (perm, keys) pair for a sort of n tuples and fills perm
+// with the identity permutation.
+func permKeys(perm []int32, keys []float64, n int) ([]int32, []float64) {
+	if cap(perm) < n {
+		perm = make([]int32, n)
+		keys = make([]float64, n)
+	}
+	perm, keys = perm[:n], keys[:n]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm, keys
+}
+
+// permSorter stably sorts a permutation by the cached key of the tuple it
+// points at. It is embedded in the arena so taking its address for
+// sort.Stable never allocates.
+type permSorter struct {
+	perm []int32
+	keys []float64
+}
+
+func (s *permSorter) Len() int           { return len(s.perm) }
+func (s *permSorter) Less(i, j int) bool { return s.keys[s.perm[i]] < s.keys[s.perm[j]] }
+func (s *permSorter) Swap(i, j int)      { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+
+// stableSortPerm stably sorts perm by keys (both owned by the arena).
+func (ar *Arena) stableSortPerm(perm []int32, keys []float64) {
+	ar.sorter.perm, ar.sorter.keys = perm, keys
+	sort.Stable(&ar.sorter)
+	ar.sorter.perm, ar.sorter.keys = nil, nil
+}
+
+// resetAgg clears the aggregation scratch for a fresh grouping pass.
+func (ar *Arena) resetAgg() {
+	clear(ar.groups)
+	clear(ar.groupsN)
+	ar.keyBuf = ar.keyBuf[:0]
+	ar.groupKeys = ar.groupKeys[:0]
+	ar.counts = ar.counts[:0]
+	ar.sums = ar.sums[:0]
+	ar.mins = ar.mins[:0]
+	ar.maxs = ar.maxs[:0]
+}
+
+// typedEq compares one column value from each side of a join with full type
+// awareness: string columns compare their strings, numeric columns their
+// numbers, and a string/numeric mismatch is simply unequal (never a silent
+// zero-collision).
+func typedEq(ca *tpch.Column, ia int32, cb *tpch.Column, ib int32) bool {
+	if ca.Kind == tpch.KindString || cb.Kind == tpch.KindString {
+		if ca.Kind != cb.Kind {
+			return false
+		}
+		return ca.Strs[ia] == cb.Strs[ib]
+	}
+	return ca.Nums[ia] == cb.Nums[ib]
+}

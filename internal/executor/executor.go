@@ -207,13 +207,15 @@ func (e *Executor) hashJoin(n *optimizer.Node) (Schema, []Row, error) {
 		buildPos, probePos = lpos, rpos
 		buildIsLeft = true
 	}
-	ht := make(map[float64][]int, len(buildRows))
+	// Key on the full typed Value, not Value.Num alone: string join keys
+	// would otherwise all collide on Num==0 and silently cross-product.
+	ht := make(map[Value][]int, len(buildRows))
 	for i, row := range buildRows {
-		ht[row[buildPos].Num] = append(ht[row[buildPos].Num], i)
+		ht[row[buildPos]] = append(ht[row[buildPos]], i)
 	}
 	var out []Row
 	for _, probe := range probeRows {
-		for _, bi := range ht[probe[probePos].Num] {
+		for _, bi := range ht[probe[probePos]] {
 			build := buildRows[bi]
 			var combined Row
 			if buildIsLeft {
@@ -401,7 +403,15 @@ func compileFilters(preds []optimizer.Predicate, schema Schema) (func(Row) bool,
 					return false
 				}
 			case optimizer.PredJoin:
-				if v.Num != row[c.pos2].Num {
+				// Typed comparison: string columns compare strings, numeric
+				// columns numbers; a type mismatch is unequal rather than a
+				// zero-collision.
+				b := row[c.pos2]
+				if v.IsStr || b.IsStr {
+					if v.IsStr != b.IsStr || v.Str != b.Str {
+						return false
+					}
+				} else if v.Num != b.Num {
 					return false
 				}
 			}

@@ -184,3 +184,60 @@ func mustRun(t *testing.T, plan *optimizer.Plan) *Result {
 	}
 	return res
 }
+
+// Regression: the hash join must key its build table on the full typed
+// value. An earlier version keyed on Value.Num alone, so string join
+// keys — which all carry Num==0 — collided into one bucket and a
+// string-keyed join silently degenerated into a cross product.
+func TestHashJoinStringKey(t *testing.T) {
+	for _, buildLeft := range []bool{false, true} {
+		left := &optimizer.Node{Op: optimizer.OpSeqScan, Table: "nation", Alias: "n1"}
+		right := &optimizer.Node{Op: optimizer.OpSeqScan, Table: "nation", Alias: "n2"}
+		root := &optimizer.Node{
+			Op: optimizer.OpHashJoin, Left: left, Right: right,
+			LeftCol:   optimizer.ColRef{Alias: "n1", Column: "n_name"},
+			RightCol:  optimizer.ColRef{Alias: "n2", Column: "n_name"},
+			BuildLeft: buildLeft,
+		}
+		plan := &optimizer.Plan{Root: root, Fingerprint: optimizer.FingerprintOf(root)}
+		res := mustRun(t, plan)
+
+		// n_name is unique, so the self-join yields exactly the diagonal.
+		n := testDB.MustTable("nation").NumRows()
+		if len(res.Rows) != n {
+			t.Fatalf("buildLeft=%v: self-join on unique n_name returned %d rows, want %d (cross product would be %d)",
+				buildLeft, len(res.Rows), n, n*n)
+		}
+		lPos := res.Schema.Pos(optimizer.ColRef{Alias: "n1", Column: "n_name"})
+		rPos := res.Schema.Pos(optimizer.ColRef{Alias: "n2", Column: "n_name"})
+		if lPos < 0 || rPos < 0 {
+			t.Fatalf("missing n_name columns in schema %v", res.Schema)
+		}
+		for i, row := range res.Rows {
+			if row[lPos].Str != row[rPos].Str {
+				t.Fatalf("buildLeft=%v row %d: joined %q with %q", buildLeft, i, row[lPos].Str, row[rPos].Str)
+			}
+		}
+
+		// The compiled engine must agree row for row.
+		cp, err := exec.Compile(plan, nil)
+		if err != nil {
+			t.Fatalf("buildLeft=%v: Compile: %v", buildLeft, err)
+		}
+		got, err := cp.Exec(nil)
+		if err != nil {
+			t.Fatalf("buildLeft=%v: Exec: %v", buildLeft, err)
+		}
+		if len(got.Rows) != len(res.Rows) {
+			t.Fatalf("buildLeft=%v: compiled engine returned %d rows, want %d", buildLeft, len(got.Rows), len(res.Rows))
+		}
+		for i := range res.Rows {
+			for j := range res.Rows[i] {
+				if got.Rows[i][j] != res.Rows[i][j] {
+					t.Fatalf("buildLeft=%v row %d col %d: compiled %v, tree-walk %v",
+						buildLeft, i, j, got.Rows[i][j], res.Rows[i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,670 @@
+// Compiled plan execution. Operators consume and produce int32 selection
+// vectors held in the arena; scans filter candidate row ids through the
+// shared batch mask in fixed-size chunks with one columnar pass per
+// predicate; joins emit matched (left, right) tuple pairs by appending to
+// the join's output vectors; rows are materialized exactly once, into the
+// final Result (two allocations: the Value backing array and the Row
+// headers).
+package executor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/optimizer"
+	"repro/internal/tpch"
+)
+
+// Exec runs the compiled plan at the given parameter values and returns a
+// freshly materialized result. Safe for concurrent use; the result shares
+// nothing with the arena (the Schema is shared with the plan and must be
+// treated as read-only).
+func (cp *CompiledPlan) Exec(params []float64) (*Result, error) {
+	if err := cp.exec.faults.Fail(faults.ExecutorError); err != nil {
+		return nil, fmt.Errorf("executor: %w", err)
+	}
+	if len(params) != cp.nParams {
+		return nil, fmt.Errorf("executor: got %d parameters, want %d", len(params), cp.nParams)
+	}
+	ar := cp.pool.Get().(*Arena)
+	cp.run(cp.root, ar, params)
+	var res *Result
+	if cp.agg != nil {
+		res = cp.materializeAgg(ar)
+	} else {
+		res = cp.materialize(ar)
+	}
+	cp.pool.Put(ar)
+	return res, nil
+}
+
+func (cp *CompiledPlan) run(n *cNode, ar *Arena, params []float64) {
+	switch n.op {
+	case optimizer.OpSeqScan:
+		n.runSeqScan(ar, params)
+	case optimizer.OpIndexScan:
+		n.runIndexScan(ar, params)
+	case optimizer.OpHashJoin:
+		cp.run(n.left, ar, params)
+		cp.run(n.right, ar, params)
+		n.runHashJoin(ar, params)
+	case optimizer.OpMergeJoin:
+		cp.run(n.left, ar, params)
+		cp.run(n.right, ar, params)
+		n.runMergeJoin(ar, params)
+	case optimizer.OpIndexNLJoin:
+		cp.run(n.left, ar, params)
+		n.runIndexNLJoin(ar, params)
+	case optimizer.OpNLJoin:
+		cp.run(n.left, ar, params)
+		cp.run(n.right, ar, params)
+		n.runNLJoin(ar, params)
+	}
+}
+
+// testRow evaluates one compiled non-join predicate against a direct base
+// table row id. The comparison forms replicate the row engine exactly
+// (including its NaN behaviour) so compiled output stays bit-identical.
+func (p *cPred) testRow(params []float64, id int32) bool {
+	switch p.kind {
+	case optimizer.PredCmpNum:
+		return cmpNum(p.col.Nums[id], p.op, p.rhs(params))
+	case optimizer.PredCmpStr:
+		return p.col.Strs[id] == p.strValue
+	case optimizer.PredBetween:
+		v := p.col.Nums[id]
+		return !(v < p.lo || v > p.hi)
+	case optimizer.PredJoin:
+		return typedEq(p.col, id, p.col2, id)
+	}
+	return false
+}
+
+func (n *cNode) runSeqScan(ar *Arena, params []float64) {
+	out := ar.vecs[n.slots[0]][:0]
+	total := int32(n.table.NumRows())
+	if len(n.filters) == 0 {
+		for id := int32(0); id < total; id++ {
+			out = append(out, id)
+		}
+		ar.vecs[n.slots[0]] = out
+		return
+	}
+	mask := ar.mask
+	for base := int32(0); base < total; base += batchSize {
+		m := total - base
+		if m > batchSize {
+			m = batchSize
+		}
+		for j := int32(0); j < m; j++ {
+			mask[j] = true
+		}
+		for fi := range n.filters {
+			n.filters[fi].filterContig(params, mask, base, m)
+		}
+		for j := int32(0); j < m; j++ {
+			if mask[j] {
+				out = append(out, base+j)
+			}
+		}
+	}
+	ar.vecs[n.slots[0]] = out
+}
+
+// filterContig clears mask[j] for every row base+j (j < m) failing the
+// predicate, with the per-op comparison hoisted out of the row loop so the
+// hot numeric filters run call- and switch-free. The negated comparison
+// forms keep the row engine's NaN behaviour (a NaN column value fails
+// every comparison, and passes BETWEEN via its !(v < lo || v > hi) form).
+func (p *cPred) filterContig(params []float64, mask []bool, base, m int32) {
+	switch p.kind {
+	case optimizer.PredCmpNum:
+		nums := p.col.Nums[base : base+m]
+		v := p.rhs(params)
+		switch p.op {
+		case optimizer.OpEq:
+			for j, x := range nums {
+				if !(x == v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpLE:
+			for j, x := range nums {
+				if !(x <= v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpGE:
+			for j, x := range nums {
+				if !(x >= v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpLT:
+			for j, x := range nums {
+				if !(x < v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpGT:
+			for j, x := range nums {
+				if !(x > v) {
+					mask[j] = false
+				}
+			}
+		}
+	case optimizer.PredCmpStr:
+		strs := p.col.Strs[base : base+m]
+		for j, s := range strs {
+			if s != p.strValue {
+				mask[j] = false
+			}
+		}
+	case optimizer.PredBetween:
+		nums := p.col.Nums[base : base+m]
+		for j, x := range nums {
+			if x < p.lo || x > p.hi {
+				mask[j] = false
+			}
+		}
+	default:
+		for j := int32(0); j < m; j++ {
+			if mask[j] && !p.testRow(params, base+j) {
+				mask[j] = false
+			}
+		}
+	}
+}
+
+func (n *cNode) runIndexScan(ar *Arena, params []float64) {
+	lo, hi := n.lo, n.hi
+	// Parameter-driven bounds re-derive exactly as Recost's rebind does;
+	// later derivations win, matching the rebind order over q.Preds.
+	for _, d := range n.derive {
+		lo, hi = optimizer.SargBoundsFor(d.Op, params[d.ParamIdx])
+	}
+	cands := n.index.RangeRows(lo, hi)
+	out := ar.vecs[n.slots[0]][:0]
+	if len(n.filters) == 0 {
+		out = append(out, cands...)
+		ar.vecs[n.slots[0]] = out
+		return
+	}
+	mask := ar.mask
+	for base := 0; base < len(cands); base += batchSize {
+		chunk := cands[base:]
+		if len(chunk) > batchSize {
+			chunk = chunk[:batchSize]
+		}
+		for j := range chunk {
+			mask[j] = true
+		}
+		for fi := range n.filters {
+			n.filters[fi].filterGather(params, mask, chunk)
+		}
+		for j, id := range chunk {
+			if mask[j] {
+				out = append(out, id)
+			}
+		}
+	}
+	ar.vecs[n.slots[0]] = out
+}
+
+// filterGather is filterContig over a gathered id chunk (index scan
+// candidates are arbitrary row ids, not a contiguous range).
+func (p *cPred) filterGather(params []float64, mask []bool, ids []int32) {
+	switch p.kind {
+	case optimizer.PredCmpNum:
+		nums := p.col.Nums
+		v := p.rhs(params)
+		switch p.op {
+		case optimizer.OpEq:
+			for j, id := range ids {
+				if !(nums[id] == v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpLE:
+			for j, id := range ids {
+				if !(nums[id] <= v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpGE:
+			for j, id := range ids {
+				if !(nums[id] >= v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpLT:
+			for j, id := range ids {
+				if !(nums[id] < v) {
+					mask[j] = false
+				}
+			}
+		case optimizer.OpGT:
+			for j, id := range ids {
+				if !(nums[id] > v) {
+					mask[j] = false
+				}
+			}
+		}
+	case optimizer.PredCmpStr:
+		strs := p.col.Strs
+		for j, id := range ids {
+			if strs[id] != p.strValue {
+				mask[j] = false
+			}
+		}
+	case optimizer.PredBetween:
+		nums := p.col.Nums
+		for j, id := range ids {
+			if nums[id] < p.lo || nums[id] > p.hi {
+				mask[j] = false
+			}
+		}
+	default:
+		for j, id := range ids {
+			if mask[j] && !p.testRow(params, id) {
+				mask[j] = false
+			}
+		}
+	}
+}
+
+// evalJoinFilters evaluates the compiled join-level filters against a
+// candidate (left tuple li, right tuple ri) pair. rightDirect marks
+// index-nested-loop context, where ri is a direct inner row id rather than
+// an index into a selection vector.
+func evalJoinFilters(filters []cPred, params []float64, ar *Arena, li, ri int32, rightDirect bool) bool {
+	for fi := range filters {
+		p := &filters[fi]
+		idA := joinRowID(ar, p.side, p.slot, li, ri, rightDirect)
+		if p.kind == optimizer.PredJoin {
+			idB := joinRowID(ar, p.side2, p.slot2, li, ri, rightDirect)
+			if !typedEq(p.col, idA, p.col2, idB) {
+				return false
+			}
+			continue
+		}
+		if !p.testRow(params, idA) {
+			return false
+		}
+	}
+	return true
+}
+
+func joinRowID(ar *Arena, side, slot int, li, ri int32, rightDirect bool) int32 {
+	if side == 0 {
+		return ar.vecs[slot][li]
+	}
+	if rightDirect {
+		return ri
+	}
+	return ar.vecs[slot][ri]
+}
+
+// emit appends the combined (left li, right ri) tuple to the join's output
+// vectors. For index-nested-loop joins ri is the direct inner row id.
+func (n *cNode) emit(ar *Arena, li, ri int32, rightDirect bool) {
+	nl := len(n.left.slots)
+	for x, s := range n.left.slots {
+		ar.vecs[n.slots[x]] = append(ar.vecs[n.slots[x]], ar.vecs[s][li])
+	}
+	if rightDirect {
+		ar.vecs[n.slots[nl]] = append(ar.vecs[n.slots[nl]], ri)
+		return
+	}
+	for x, s := range n.right.slots {
+		ar.vecs[n.slots[nl+x]] = append(ar.vecs[n.slots[nl+x]], ar.vecs[s][ri])
+	}
+}
+
+func (n *cNode) resetOutput(ar *Arena) {
+	for _, s := range n.slots {
+		ar.vecs[s] = ar.vecs[s][:0]
+	}
+}
+
+func (n *cNode) runHashJoin(ar *Arena, params []float64) {
+	n.resetOutput(ar)
+	buildSlot, probeSlot := n.rightSlot, n.leftSlot
+	buildKey, probeKey := n.rightKey, n.leftKey
+	if n.buildLeft {
+		buildSlot, probeSlot = n.leftSlot, n.rightSlot
+		buildKey, probeKey = n.leftKey, n.rightKey
+	}
+	buildVec := ar.vecs[buildSlot]
+	probeVec := ar.vecs[probeSlot]
+	next := ar.chain(len(buildVec))
+
+	// Build: chained buckets in insertion order (head<<32 | tail), so probe
+	// emission order matches the row engine's bucket-append order exactly.
+	if n.strKey {
+		ht := ar.htS
+		clear(ht)
+		keys := buildKey.Strs
+		for i, id := range buildVec {
+			next[i] = -1
+			k := keys[id]
+			if he, ok := ht[k]; ok {
+				next[int32(he&0xffffffff)] = int32(i)
+				ht[k] = he&^0xffffffff | int64(i)
+			} else {
+				ht[k] = int64(i)<<32 | int64(i)
+			}
+		}
+		pkeys := probeKey.Strs
+		for pi, id := range probeVec {
+			he, ok := ht[pkeys[id]]
+			if !ok {
+				continue
+			}
+			n.probeChain(ar, params, next, he, int32(pi))
+		}
+		return
+	}
+	ht := &ar.htN
+	ht.reset(len(buildVec))
+	keys := buildKey.Nums
+	for i, id := range buildVec {
+		next[i] = -1
+		k := keys[id]
+		if k == 0 {
+			k = 0 // normalize -0 so ±0 share a bucket, as map keys do
+		}
+		ht.insert(k, int32(i), next)
+	}
+	pkeys := probeKey.Nums
+	for pi, id := range probeVec {
+		k := pkeys[id]
+		if k == 0 {
+			k = 0
+		}
+		he := ht.lookup(k)
+		if he < 0 {
+			continue
+		}
+		n.probeChain(ar, params, next, he, int32(pi))
+	}
+}
+
+// probeChain walks one build-side bucket for probe tuple pi, emitting
+// filtered matches in build insertion order.
+func (n *cNode) probeChain(ar *Arena, params []float64, next []int32, he int64, pi int32) {
+	for bi := int32(he >> 32); bi >= 0; bi = next[bi] {
+		li, ri := pi, bi
+		if n.buildLeft {
+			li, ri = bi, pi
+		}
+		if evalJoinFilters(n.joinFilters, params, ar, li, ri, false) {
+			n.emit(ar, li, ri, false)
+		}
+	}
+}
+
+func (n *cNode) runMergeJoin(ar *Arena, params []float64) {
+	n.resetOutput(ar)
+	lvec, rvec := ar.vecs[n.leftSlot], ar.vecs[n.rightSlot]
+	ar.permA, ar.keysA = permKeys(ar.permA, ar.keysA, len(lvec))
+	ar.permB, ar.keysB = permKeys(ar.permB, ar.keysB, len(rvec))
+	for i, id := range lvec {
+		ar.keysA[i] = n.leftKey.Nums[id]
+	}
+	for i, id := range rvec {
+		ar.keysB[i] = n.rightKey.Nums[id]
+	}
+	// Stable sorts yield the same permutation the row engine's
+	// sort.SliceStable produces, so equal-key run order is identical.
+	ar.stableSortPerm(ar.permA, ar.keysA)
+	ar.stableSortPerm(ar.permB, ar.keysB)
+	permA, permB, keysA, keysB := ar.permA, ar.permB, ar.keysA, ar.keysB
+	i, j := 0, 0
+	for i < len(permA) && j < len(permB) {
+		lv, rv := keysA[permA[i]], keysB[permB[j]]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			jEnd := j
+			for jEnd < len(permB) && keysB[permB[jEnd]] == lv {
+				jEnd++
+			}
+			for ; i < len(permA) && keysA[permA[i]] == lv; i++ {
+				li := permA[i]
+				for k := j; k < jEnd; k++ {
+					ri := permB[k]
+					if evalJoinFilters(n.joinFilters, params, ar, li, ri, false) {
+						n.emit(ar, li, ri, false)
+					}
+				}
+			}
+			j = jEnd
+		}
+	}
+}
+
+func (n *cNode) runIndexNLJoin(ar *Arena, params []float64) {
+	n.resetOutput(ar)
+	lvec := ar.vecs[n.leftSlot]
+	keys := n.leftKey.Nums
+	for li := range lvec {
+		v := keys[lvec[li]]
+		for _, ri := range n.index.RangeRows(v, v) {
+			ok := true
+			for fi := range n.innerFilters {
+				if !n.innerFilters[fi].testRow(params, ri) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if evalJoinFilters(n.joinFilters, params, ar, int32(li), ri, true) {
+				n.emit(ar, int32(li), ri, true)
+			}
+		}
+	}
+}
+
+func (n *cNode) runNLJoin(ar *Arena, params []float64) {
+	n.resetOutput(ar)
+	nl := len(ar.vecs[n.left.slots[0]])
+	nr := len(ar.vecs[n.right.slots[0]])
+	for li := int32(0); li < int32(nl); li++ {
+		for ri := int32(0); ri < int32(nr); ri++ {
+			if evalJoinFilters(n.joinFilters, params, ar, li, ri, false) {
+				n.emit(ar, li, ri, false)
+			}
+		}
+	}
+}
+
+// materialize builds the final Result for a non-aggregating plan: one
+// backing Value array plus the Row headers.
+func (cp *CompiledPlan) materialize(ar *Arena) *Result {
+	nt := len(ar.vecs[cp.root.slots[0]])
+	if nt == 0 {
+		return &Result{Schema: cp.schema}
+	}
+	width := len(cp.schema)
+	backing := make([]Value, nt*width)
+	rows := make([]Row, nt)
+	for t := 0; t < nt; t++ {
+		row := backing[t*width : (t+1)*width : (t+1)*width]
+		for x := range cp.outCols {
+			cs := &cp.outCols[x]
+			id := ar.vecs[cs.slot][t]
+			if cs.col.Kind == tpch.KindString {
+				row[x] = Value{Str: cs.col.Strs[id], IsStr: true}
+			} else {
+				row[x] = Value{Num: cs.col.Nums[id]}
+			}
+		}
+		rows[t] = row
+	}
+	return &Result{Schema: cp.schema, Rows: rows}
+}
+
+// materializeAgg groups the root's tuples through the arena accumulators
+// and materializes the aggregate rows, replicating the row engine's
+// grouping (first-seen order, byte-encoded keys) and accumulation
+// (identical float addition order) so results stay bit-identical.
+func (cp *CompiledPlan) materializeAgg(ar *Arena) *Result {
+	agg := cp.agg
+	child := cp.root
+	nt := len(ar.vecs[child.slots[0]])
+	nS := len(agg.specs)
+	nK := len(agg.groupCols)
+	ar.resetAgg()
+	if agg.numKey() {
+		// Single numeric group column: the raw float bits are the group key
+		// (identical equality — and so identical first-seen group order — to
+		// the byte-encoded key the general path builds).
+		gc := &agg.groupCols[0]
+		gvec := ar.vecs[gc.slot]
+		nums := gc.col.Nums
+		for t := 0; t < nt; t++ {
+			kv := nums[gvec[t]]
+			g, ok := ar.groupsN[math.Float64bits(kv)]
+			if !ok {
+				g = int32(len(ar.counts))
+				ar.groupsN[math.Float64bits(kv)] = g
+				ar.groupKeys = append(ar.groupKeys, Value{Num: kv})
+				ar.counts = append(ar.counts, 0)
+				for s := 0; s < nS; s++ {
+					ar.sums = append(ar.sums, 0)
+					ar.mins = append(ar.mins, math.Inf(1))
+					ar.maxs = append(ar.maxs, math.Inf(-1))
+				}
+			}
+			ar.counts[g]++
+			base := int(g) * nS
+			for s := range agg.specs {
+				sp := &agg.specs[s]
+				if sp.slot < 0 {
+					continue
+				}
+				v := sp.col.Nums[ar.vecs[sp.slot][t]]
+				ar.sums[base+s] += v
+				if v < ar.mins[base+s] {
+					ar.mins[base+s] = v
+				}
+				if v > ar.maxs[base+s] {
+					ar.maxs[base+s] = v
+				}
+			}
+		}
+		return cp.aggRows(ar, nS, nK)
+	}
+	for t := 0; t < nt; t++ {
+		kb := ar.keyBuf[:0]
+		for gi := range agg.groupCols {
+			gc := &agg.groupCols[gi]
+			id := ar.vecs[gc.slot][t]
+			if gc.col.Kind == tpch.KindString {
+				kb = append(kb, gc.col.Strs[id]...)
+			} else {
+				kb = appendFloat(kb, gc.col.Nums[id])
+			}
+			kb = append(kb, 0)
+		}
+		ar.keyBuf = kb
+		g, ok := ar.groups[string(kb)]
+		if !ok {
+			g = int32(len(ar.counts))
+			ar.groups[string(kb)] = g
+			for gi := range agg.groupCols {
+				gc := &agg.groupCols[gi]
+				id := ar.vecs[gc.slot][t]
+				if gc.col.Kind == tpch.KindString {
+					ar.groupKeys = append(ar.groupKeys, Value{Str: gc.col.Strs[id], IsStr: true})
+				} else {
+					ar.groupKeys = append(ar.groupKeys, Value{Num: gc.col.Nums[id]})
+				}
+			}
+			ar.counts = append(ar.counts, 0)
+			for s := 0; s < nS; s++ {
+				ar.sums = append(ar.sums, 0)
+				ar.mins = append(ar.mins, math.Inf(1))
+				ar.maxs = append(ar.maxs, math.Inf(-1))
+			}
+		}
+		ar.counts[g]++
+		base := int(g) * nS
+		for s := range agg.specs {
+			sp := &agg.specs[s]
+			if sp.slot < 0 {
+				continue
+			}
+			v := sp.col.Nums[ar.vecs[sp.slot][t]]
+			ar.sums[base+s] += v
+			if v < ar.mins[base+s] {
+				ar.mins[base+s] = v
+			}
+			if v > ar.maxs[base+s] {
+				ar.maxs[base+s] = v
+			}
+		}
+	}
+	return cp.aggRows(ar, nS, nK)
+}
+
+// aggRows materializes the grouped accumulators into the final rows (or
+// the row engine's zero-row special cases).
+func (cp *CompiledPlan) aggRows(ar *Arena, nS, nK int) *Result {
+	agg := cp.agg
+	ng := len(ar.counts)
+	if ng == 0 && nK == 0 {
+		// A global aggregate over zero rows still yields one row.
+		row := make(Row, nS)
+		for s := range agg.specs {
+			switch agg.specs[s].fn {
+			case optimizer.AggMin:
+				row[s] = Value{Num: math.Inf(1)}
+			case optimizer.AggMax:
+				row[s] = Value{Num: math.Inf(-1)}
+			default:
+				row[s] = Value{Num: 0}
+			}
+		}
+		return &Result{Schema: agg.outSchema, Rows: []Row{row}}
+	}
+	if ng == 0 {
+		// Matches the row engine: a grouped aggregate over zero input rows
+		// yields an empty (non-nil) row set.
+		return &Result{Schema: agg.outSchema, Rows: []Row{}}
+	}
+	width := len(agg.outSchema)
+	backing := make([]Value, ng*width)
+	rows := make([]Row, ng)
+	for g := 0; g < ng; g++ {
+		row := backing[g*width : (g+1)*width : (g+1)*width]
+		copy(row, ar.groupKeys[g*nK:(g+1)*nK])
+		base := g * nS
+		for s := range agg.specs {
+			sp := &agg.specs[s]
+			var v float64
+			switch sp.fn {
+			case optimizer.AggCount:
+				v = ar.counts[g]
+			case optimizer.AggSum:
+				v = ar.sums[base+s]
+			case optimizer.AggAvg:
+				v = ar.sums[base+s] / ar.counts[g]
+			case optimizer.AggMin:
+				v = ar.mins[base+s]
+			case optimizer.AggMax:
+				v = ar.maxs[base+s]
+			}
+			row[nK+s] = Value{Num: v}
+		}
+		rows[g] = row
+	}
+	return &Result{Schema: agg.outSchema, Rows: rows}
+}

@@ -48,102 +48,21 @@ func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
 func (o *Optimizer) SetFaults(inj *faults.Injector) { o.faults = inj }
 
 // Optimize selects the cheapest plan for the query instantiated with the
-// given parameter values (one per placeholder, in placeholder order).
+// given parameter values (one per placeholder, in placeholder order). It
+// builds a transient per-call Memo and runs the same enumeration core as
+// OptimizeMemo, so one-shot and memoized optimization can never diverge in
+// plan choice. Callers that optimize one template repeatedly should hold a
+// Memo (NewMemo) and call OptimizeMemo to skip the per-call analysis.
 func (o *Optimizer) Optimize(q *Query, params []float64) (*Plan, error) {
 	o.faults.Sleep(faults.OptimizerLatency)
 	if err := o.faults.Fail(faults.OptimizerError); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
-	if err := q.Validate(); err != nil {
+	m, err := o.NewMemo(q)
+	if err != nil {
 		return nil, err
 	}
-	if got, want := len(params), q.ParamDegree(); got != want {
-		return nil, fmt.Errorf("optimizer: got %d parameters, want %d", got, want)
-	}
-	preds := instantiate(q.Preds, params)
-
-	// Partition predicates.
-	single := make(map[string][]Predicate) // alias -> single-table predicates
-	var joins []Predicate
-	for _, p := range preds {
-		if p.Kind == PredJoin {
-			joins = append(joins, p)
-		} else {
-			single[p.Col.Alias] = append(single[p.Col.Alias], p)
-		}
-	}
-
-	// Base access path candidates per relation.
-	base := make([][]candidate, len(q.Tables))
-	for i, t := range q.Tables {
-		cands, err := o.accessPaths(t, single[t.Alias])
-		if err != nil {
-			return nil, err
-		}
-		base[i] = cands
-	}
-
-	aliasIdx := make(map[string]int, len(q.Tables))
-	for i, t := range q.Tables {
-		aliasIdx[t.Alias] = i
-	}
-
-	// Left-deep dynamic programming over relation subsets.
-	n := len(q.Tables)
-	plans := make([]map[string]candidate, 1<<uint(n))
-	for i, cands := range base {
-		m := make(map[string]candidate)
-		for _, c := range cands {
-			addCandidate(m, c)
-		}
-		plans[1<<uint(i)] = m
-	}
-	for mask := 1; mask < 1<<uint(n); mask++ {
-		if plans[mask] == nil || bitsSet(mask) < 1 {
-			continue
-		}
-		for r := 0; r < n; r++ {
-			bit := 1 << uint(r)
-			if mask&bit != 0 {
-				continue
-			}
-			next := mask | bit
-			conn := connecting(joins, aliasIdx, mask, r)
-			for _, left := range plans[mask] {
-				cands, err := o.joinCandidates(q, left, r, base[r], conn, single[q.Tables[r].Alias])
-				if err != nil {
-					return nil, err
-				}
-				if plans[next] == nil {
-					plans[next] = make(map[string]candidate)
-				}
-				for _, c := range cands {
-					addCandidate(plans[next], c)
-				}
-			}
-		}
-	}
-
-	full := plans[1<<uint(n)-1]
-	if len(full) == 0 {
-		return nil, fmt.Errorf("optimizer: no plan found")
-	}
-	best := bestCandidate(full)
-
-	root := best.node
-	if len(q.GroupBy) > 0 || hasAggregates(q) {
-		groups := o.groupEstimate(q, best.rows)
-		agg := &Node{
-			Op:      OpHashAgg,
-			GroupBy: q.GroupBy,
-			Aggs:    q.Select,
-			Left:    root,
-			EstRows: groups,
-			EstCost: root.EstCost + o.model.hashAggCost(best.rows, groups),
-		}
-		root = agg
-	}
-	return &Plan{Root: root, Cost: root.EstCost, Fingerprint: FingerprintOf(root)}, nil
+	return o.optimizeCore(m, params)
 }
 
 // candidate is a DP entry: a partial plan with its cost, cardinality and
@@ -153,16 +72,6 @@ type candidate struct {
 	cost     float64
 	rows     float64
 	sortedOn ColRef
-}
-
-// addCandidate keeps the best candidate per output order, with
-// deterministic tie-breaking on the fingerprint.
-func addCandidate(m map[string]candidate, c candidate) {
-	key := c.sortedOn.String()
-	old, ok := m[key]
-	if !ok || betterThan(c, old) {
-		m[key] = c
-	}
 }
 
 // nearTieFraction is the plan-stability window: two candidates whose costs
@@ -185,30 +94,6 @@ func betterThan(a, b candidate) bool {
 	return FingerprintOf(a.node) < FingerprintOf(b.node)
 }
 
-func bestCandidate(m map[string]candidate) candidate {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	best := m[keys[0]]
-	for _, k := range keys[1:] {
-		if betterThan(m[k], best) {
-			best = m[k]
-		}
-	}
-	return best
-}
-
-func bitsSet(mask int) int {
-	n := 0
-	for mask != 0 {
-		mask &= mask - 1
-		n++
-	}
-	return n
-}
-
 func hasAggregates(q *Query) bool {
 	for _, s := range q.Select {
 		if s.Agg != AggNone {
@@ -216,18 +101,6 @@ func hasAggregates(q *Query) bool {
 		}
 	}
 	return false
-}
-
-// instantiate substitutes parameter values into a copy of the predicates.
-func instantiate(preds []Predicate, params []float64) []Predicate {
-	out := make([]Predicate, len(preds))
-	copy(out, preds)
-	for i := range out {
-		if out[i].Kind == PredCmpNum && out[i].ParamIdx >= 0 {
-			out[i].Value = params[out[i].ParamIdx]
-		}
-	}
-	return out
 }
 
 // connecting returns the join predicates linking relation r to the subset
@@ -358,8 +231,9 @@ func sargBounds(p Predicate) (lo, hi float64) {
 }
 
 // joinCandidates enumerates join methods attaching relation r to the
-// partial plan `left`.
-func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []candidate, conn []Predicate, rightPreds []Predicate) ([]candidate, error) {
+// partial plan `left`. sels carries the catalog join selectivities for conn
+// (parallel slices, precomputed once per template in NewMemo).
+func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []candidate, conn []Predicate, sels []float64, rightPreds []Predicate) ([]candidate, error) {
 	tRef := q.Tables[r]
 	table := o.db.Table(tRef.Table)
 	innerRows := float64(table.NumRows())
@@ -380,18 +254,10 @@ func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []
 
 	driving := conn[0]
 	extra := conn[1:]
-	joinSel, err := o.joinSelectivity(q, driving)
-	if err != nil {
-		return nil, err
-	}
 	rightRows := cheapest(rightBase).rows
-	outRows := math.Max(left.rows*rightRows*joinSel, 1e-6)
+	outRows := math.Max(left.rows*rightRows*sels[0], 1e-6)
 	// Additional join predicates between r and the subset filter the output.
-	for _, e := range extra {
-		s, err := o.joinSelectivity(q, e)
-		if err != nil {
-			return nil, err
-		}
+	for _, s := range sels[1:] {
 		outRows = math.Max(outRows*s, 1e-6)
 	}
 

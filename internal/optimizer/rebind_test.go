@@ -1,0 +1,77 @@
+package optimizer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+)
+
+// TestRebindProgramMatchesRecost verifies the O(params) rebind program
+// returns bit-identical costs to the clone-and-rebind Recost for every
+// standard-template plan across fuzzed parameter points.
+func TestRebindProgramMatchesRecost(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, d := range queries.Defs {
+		tm := tmpl(t, d.Name)
+		q := tm.Query
+		for trial := 0; trial < 10; trial++ {
+			inst := instAt(t, tm, randPoint(rng, tm.Degree()))
+			plan, err := opt.Optimize(q, inst.Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := opt.CompileRebind(q, plan)
+			if err != nil {
+				t.Fatalf("%s: CompileRebind: %v", d.Name, err)
+			}
+			for probe := 0; probe < 10; probe++ {
+				next := instAt(t, tm, randPoint(rng, tm.Degree())).Values
+				want, err := opt.Recost(q, plan, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rp.Recost(opt, next)
+				if err != nil {
+					t.Fatalf("%s: rebind Recost: %v", d.Name, err)
+				}
+				if got != want.Cost {
+					t.Fatalf("%s: rebind cost %v != Recost cost %v (params %v)", d.Name, got, want.Cost, next)
+				}
+			}
+		}
+	}
+}
+
+// TestRebindProgramRejectsForeignPlan verifies a plan whose filters
+// reference parameters beyond the query's degree is rejected at compile
+// time, mirroring Recost's per-call foreign-plan check.
+func TestRebindProgramRejectsForeignPlan(t *testing.T) {
+	wide := tmpl(t, "Q8") // degree 6
+	narrow := tmpl(t, "Q0")
+	plan, err := opt.Optimize(wide.Query, midValues(t, wide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.CompileRebind(narrow.Query, plan); err == nil {
+		t.Fatal("foreign plan accepted")
+	}
+}
+
+func randPoint(rng *rand.Rand, dims int) []float64 {
+	p := make([]float64, dims)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+func instAt(t *testing.T, tm *optimizer.Template, point []float64) optimizer.Instance {
+	t.Helper()
+	inst, err := opt.InstanceAt(tm, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}

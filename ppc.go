@@ -200,9 +200,18 @@ type System struct {
 // cachedPlan pairs a physical plan with the template state that owns it.
 // The owner pointer lets the eviction scorer and the foreign-plan guard
 // resolve a plan's template without the registry lock.
+//
+// prog and rebind are the plan's compiled forms, built once at intern time
+// so a cache hit does O(params) work instead of O(plan): prog executes the
+// plan through the batched columnar engine, rebind re-costs it by binding
+// parameter slots in place. Either may be nil when the plan's shape is not
+// compilable — the serving path then falls back to the tree-walking
+// executor and the deep-copy Recost, which handle every shape.
 type cachedPlan struct {
-	owner *templateState
-	plan  *optimizer.Plan
+	owner  *templateState
+	plan   *optimizer.Plan
+	prog   *executor.CompiledPlan
+	rebind *optimizer.RebindProgram
 }
 
 // applyBatchMax bounds how many queued feedback points one apply batch
@@ -221,6 +230,12 @@ const defaultFeedbackQueue = 256
 // env, breaker, obs and channel fields are immutable after registration.
 type templateState struct {
 	tmpl *optimizer.Template
+
+	// memo is the template's optimization memo: the parameter-independent
+	// part of plan enumeration, computed once at registration and shared by
+	// every optimizer invocation for this template (immutable apart from
+	// its internal scratch pool, which is concurrency-safe).
+	memo *optimizer.Memo
 
 	online *core.Online
 	env    *planEnv
@@ -492,7 +507,11 @@ func (s *System) registerLocked(name, sql string) error {
 	if s.wal != nil {
 		online.SetWAL(&walSink{log: s.wal, template: name})
 	}
-	st := &templateState{tmpl: tmpl, online: online, env: env, obs: s.obs.Template(name)}
+	memo, err := s.opt.NewMemo(tmpl.Query)
+	if err != nil {
+		return err
+	}
+	st := &templateState{tmpl: tmpl, memo: memo, online: online, env: env, obs: s.obs.Template(name)}
 	env.st = st
 	if !s.opts.DisableBreaker {
 		st.breaker = metrics.NewBreaker(s.opts.Breaker)
@@ -683,14 +702,22 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 		}
 	}
 
-	bound, err := s.resolvePlan(st, res, inst, values)
+	bound, prog, err := s.resolvePlan(st, res, inst, values)
 	if err != nil {
 		return nil, err
 	}
 
 	if s.opts.ExecutePlans {
 		t1 := time.Now()
-		out, xerr := s.exec.Run(bound)
+		var out *executor.Result
+		var xerr error
+		if prog != nil {
+			// Compiled path: batched columnar execution over pooled arenas,
+			// bit-identical to the tree-walking engine's output.
+			out, xerr = prog.Exec(values)
+		} else {
+			out, xerr = s.exec.Run(bound)
+		}
 		if xerr != nil {
 			return nil, &PipelineError{Stage: "execute", Template: template, Err: xerr}
 		}
@@ -814,14 +841,14 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.Instance, point []float64) error {
 	res.Degraded = true
 	t1 := time.Now()
-	plan, oerr := s.opt.OptimizeInstance(inst)
+	plan, oerr := s.opt.OptimizeMemo(st.memo, inst.Values)
 	if oerr != nil {
 		return &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
 	}
 	res.OptimizeTime += time.Since(t1)
 	res.Invoked = true
 	res.CacheHit = false
-	res.PlanID = s.internPlan(st, plan)
+	res.PlanID, _ = s.internPlan(st, plan)
 	st.degradedRuns.Add(1)
 	// The validated label still feeds the quarantined learner so it
 	// retrains while degraded. A rejected point (dimensionality mismatch)
@@ -837,10 +864,13 @@ func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.I
 }
 
 // resolvePlan fetches the plan to execute: on a hit, rebind the cached
-// tree; on a miss (or a foreign/unusable tree) optimize afresh. Rebinding
-// and optimization run outside all locks — Recost deep-copies the cached
-// tree, so concurrent readers of the same plan are safe.
-func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.Instance, values []float64) (*optimizer.Plan, error) {
+// plan's compiled program in O(params) (falling back to the deep-copy
+// Recost when the plan never compiled); on a miss (or a foreign/unusable
+// tree) optimize afresh through the template's memo. Rebinding and
+// optimization run outside all locks. The returned program, when non-nil,
+// is the compiled form of the returned plan and is what Run executes; the
+// bound tree is only executed when prog is nil.
+func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.Instance, values []float64) (*optimizer.Plan, *executor.CompiledPlan, error) {
 	s.cacheMu.RLock()
 	entry, ok := s.planByID[res.PlanID]
 	s.cacheMu.RUnlock()
@@ -850,13 +880,30 @@ func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.I
 		ok = false
 	}
 	var bound *optimizer.Plan
+	var prog *executor.CompiledPlan
 	if ok {
-		var rerr error
-		bound, rerr = s.opt.Recost(st.tmpl.Query, entry.plan, values)
-		if rerr != nil {
-			// The cached tree is unusable for this template: treat it as a
-			// miss and re-optimize rather than failing the query.
-			ok = false
+		if entry.rebind != nil && entry.prog != nil {
+			// Fast hit: bind the parameter slots and re-cost in place — no
+			// tree copy. The cached (template-bound) tree stands in for the
+			// bound plan; it is never executed, entry.prog is.
+			cost, rerr := entry.rebind.Recost(s.opt, values)
+			if rerr != nil {
+				ok = false
+			} else {
+				bound = entry.plan
+				prog = entry.prog
+				res.EstimatedCost = cost
+			}
+		} else {
+			rb, rerr := s.opt.Recost(st.tmpl.Query, entry.plan, values)
+			if rerr != nil {
+				// The cached tree is unusable for this template: treat it as
+				// a miss and re-optimize rather than failing the query.
+				ok = false
+			} else {
+				bound = rb
+				res.EstimatedCost = rb.Cost
+			}
 		}
 	}
 	if ok {
@@ -873,42 +920,63 @@ func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.I
 		// unusable): optimize afresh — a cache miss despite a possibly
 		// correct prediction.
 		t1 := time.Now()
-		plan, oerr := s.opt.OptimizeInstance(inst)
+		plan, oerr := s.opt.OptimizeMemo(st.memo, inst.Values)
 		if oerr != nil {
-			return nil, &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
+			return nil, nil, &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
 		}
 		res.OptimizeTime += time.Since(t1)
 		res.Invoked = true
 		res.CacheHit = false
-		res.PlanID = s.internPlan(st, plan)
-		// OptimizeInstance binds the plan at these values already.
+		var fresh *cachedPlan
+		res.PlanID, fresh = s.internPlan(st, plan)
+		// OptimizeMemo binds the plan at these values already.
 		bound = plan
+		prog = fresh.prog
 		res.Fingerprint = plan.Fingerprint
+		res.EstimatedCost = plan.Cost
 		// No recency refresh here: internPlan just Put the plan, which
 		// already made it the cache's most recent entry.
 		s.cacheObs.CountMiss()
 	}
-	res.EstimatedCost = bound.Cost
-	return bound, nil
+	return bound, prog, nil
 }
 
 // internPlan registers a fresh plan in the registry, index and cache, and
-// returns its dense id. The registry is internally synchronized; the index
-// and cache update happens under the cache lock. When the insertion evicts
-// another plan, only the cache slot and index entry are reclaimed — the
-// tree itself stays alive for learners still referencing its id, and Run
-// re-optimizes if the plan is predicted again.
-func (s *System) internPlan(st *templateState, plan *optimizer.Plan) int {
+// returns its dense id plus the cache entry. The registry is internally
+// synchronized; the index and cache update happens under the cache lock.
+// When the insertion evicts another plan, only the cache slot and index
+// entry are reclaimed — the tree itself stays alive for learners still
+// referencing its id, and Run re-optimizes if the plan is predicted again.
+//
+// An id already cached for this template keeps its existing entry (the
+// trees are fingerprint-identical), so re-interning a plan on every audit
+// or degraded run never recompiles it. Fresh entries are compiled — into a
+// batched executor program and a rebind program — outside cacheMu; a plan
+// shape the compilers cannot express leaves the fields nil and serves
+// through the legacy paths.
+func (s *System) internPlan(st *templateState, plan *optimizer.Plan) (int, *cachedPlan) {
 	id := s.reg.ID(plan.Fingerprint)
+	s.cacheMu.RLock()
+	entry, ok := s.planByID[id]
+	s.cacheMu.RUnlock()
+	if !ok || entry.owner != st {
+		entry = &cachedPlan{owner: st, plan: plan}
+		if prog, err := s.exec.Compile(plan, st.tmpl.Query); err == nil {
+			entry.prog = prog
+		}
+		if rb, err := s.opt.CompileRebind(st.tmpl.Query, plan); err == nil {
+			entry.rebind = rb
+		}
+	}
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
-	s.planByID[id] = &cachedPlan{owner: st, plan: plan}
+	s.planByID[id] = entry
 	s.cacheObs.CountPut()
-	if evicted := s.cache.Put(id, plan); evicted >= 0 && evicted != id {
+	if evicted := s.cache.Put(id, entry.plan); evicted >= 0 && evicted != id {
 		delete(s.planByID, evicted)
 		s.cacheObs.CountEviction()
 	}
-	return id
+	return id, entry
 }
 
 // Stats summarizes a template's learner state.
@@ -1180,17 +1248,19 @@ type planEnv struct {
 }
 
 // Optimize implements core.Environment: invoke the real optimizer at plan
-// space point x, intern the plan, and cache it.
+// space point x — through the template's memo — intern the plan, and cache
+// it.
 func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
 		return 0, 0, err
 	}
-	plan, err := e.sys.opt.OptimizeInstance(inst)
+	plan, err := e.sys.opt.OptimizeMemo(e.st.memo, inst.Values)
 	if err != nil {
 		return 0, 0, err
 	}
-	return e.sys.internPlan(e.st, plan), plan.Cost, nil
+	id, _ := e.sys.internPlan(e.st, plan)
+	return id, plan.Cost, nil
 }
 
 // runEnv wraps a template's planEnv for one Run, accumulating the wall time
@@ -1230,6 +1300,13 @@ func (e *planEnv) ExecuteCost(x []float64, planID int) (float64, error) {
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
 		return 0, err
+	}
+	// Every cache-hit learner step lands here: prefer the O(params) rebind
+	// program over the deep-copy Recost.
+	if entry.rebind != nil {
+		if cost, err := entry.rebind.Recost(e.sys.opt, inst.Values); err == nil {
+			return cost, nil
+		}
 	}
 	re, err := e.sys.opt.Recost(e.tmpl.Query, entry.plan, inst.Values)
 	if err != nil {

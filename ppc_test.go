@@ -15,6 +15,11 @@ func openSmall(t *testing.T) *System {
 	sys, err := Open(Options{
 		TPCH:   tpch.Config{Scale: 1000, Seed: 5},
 		Online: onlineForTest(),
+		// Synchronous feedback: these tests assert learner progression over
+		// serial run loops (hit counts, traces), which requires each run's
+		// feedback applied before the next decision. The serving path is
+		// fast enough to outrun the background applier on a small machine.
+		FeedbackQueue: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
