@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos crash fuzz bench benchcmp profile clean
+.PHONY: tier1 build vet test race chaos crash fuzz replication bench benchcmp profile clean
 
 # Per-target budget for the fuzz smoke (`make fuzz FUZZTIME=2m` to go deep).
 FUZZTIME ?= 15s
@@ -9,7 +9,7 @@ FUZZTIME ?= 15s
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR7.json
+BENCH_OUT  ?= BENCH_PR8.json
 
 # Where `make profile` drops its pprof output.
 PROFILE_DIR ?= profiles
@@ -57,10 +57,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) .
 
+# The replication suite, bottom up: wire protocol and torn/corrupt frames,
+# WAL tailing, leader/replica servers under fault injection (epoch fencing,
+# admission, chaos), the client library, the in-process System-level
+# contracts, and finally the process-boundary failover test — leader under
+# load, replica attached, leader SIGKILLed and restarted — against the real
+# ppcserve and ppcreplica binaries.
+replication:
+	$(GO) test -race ./internal/netproto ./internal/replica ./pkg/client
+	$(GO) test -race -run 'TestReplication|TestLeaderReplica|TestLeaderRestart' -v .
+	$(GO) test -race -run TestLeaderReplicaFailover -v ./cmd/ppcreplica
+
 # Run the go-test serving-path benchmarks with allocation accounting, then
 # regenerate the machine-readable report through cmd/ppcbench.
 bench:
-	$(GO) test -run '^$$' -bench 'ApproxLSHHist|ModelSnapshot|Run' -benchmem .
+	$(GO) test -run '^$$' -bench 'ApproxLSHHist|ModelSnapshot|Run|Replica' -benchmem .
 	$(GO) run ./cmd/ppcbench -bench -baseline $(BENCH_BASE) -benchout $(BENCH_OUT)
 
 # Benchcmp-style diff of two stored bench reports.

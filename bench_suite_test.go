@@ -42,3 +42,9 @@ func BenchmarkRunParallel(b *testing.B) { benchsuite.RunParallel(b) }
 // with. Against BenchmarkEndToEndRun it measures the scaling of the
 // lock-free snapshot serving path introduced in PR 4.
 func BenchmarkRunHotTemplateParallel(b *testing.B) { benchsuite.RunHotTemplateParallel(b) }
+
+// BenchmarkReplicaPredict measures the follower's serving path: one
+// prediction on a replica decoded from shipped state bytes, against the
+// same trained Q1 synopsis the predictor microbenchmarks use. Part of the
+// zero-allocation guard — replicas exist to absorb read load.
+func BenchmarkReplicaPredict(b *testing.B) { benchsuite.ReplicaPredict(b) }

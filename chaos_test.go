@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/netproto"
 	"repro/internal/tpch"
 	"repro/internal/wal"
 )
@@ -84,6 +86,11 @@ func TestChaosAllFaultClasses(t *testing.T) {
 			// availability, so every Run below must still succeed.
 			walClass := class == faults.WALShortWrite ||
 				class == faults.WALFsyncError || class == faults.WALTornTail
+			// The net classes live on the replication wire, which the Run
+			// path never touches: the rounds below assert the System is
+			// oblivious to them, and the wire itself is exercised in-class
+			// (like SnapshotCorruption) over a framed loopback pair.
+			netClass := class == faults.NetTornFrame || class == faults.NetCorruptFrame
 			if walClass {
 				opts.Durability = Durability{
 					Dir:                 t.TempDir(),
@@ -146,9 +153,9 @@ func TestChaosAllFaultClasses(t *testing.T) {
 				rounds = 30 * len(names)
 			}
 			for i := 0; i < rounds; i++ {
-				// WAL faults must never surface on the Run path, so those
-				// rounds assert success outright.
-				run(i, !walClass)
+				// WAL and wire faults must never surface on the Run path, so
+				// those rounds assert success outright.
+				run(i, !walClass && !netClass)
 			}
 			if walClass {
 				// Appends happen on the background appliers; flush them so
@@ -159,8 +166,41 @@ func TestChaosAllFaultClasses(t *testing.T) {
 					}
 				}
 			}
-			if class != faults.SnapshotCorruption && inj.Fired(class) == 0 {
+			if class != faults.SnapshotCorruption && !netClass && inj.Fired(class) == 0 {
 				t.Fatalf("fault class %s never fired", class)
+			}
+
+			// Fire the net classes on an actual framed connection: the
+			// injected tear or corruption must surface as a read-side error
+			// on the peer, never as silently accepted bytes.
+			if netClass {
+				inj.Enable(class, 1)
+				a, b := net.Pipe()
+				defer a.Close() //nolint:errcheck
+				defer b.Close() //nolint:errcheck
+				src, dst := netproto.NewConn(a, inj), netproto.NewConn(b, nil)
+				readErr := make(chan error, 1)
+				go func() {
+					_, _, err := dst.ReadMsg()
+					readErr <- err
+				}()
+				werr := src.WriteMsg(netproto.MsgPing, nil)
+				if class == faults.NetCorruptFrame && werr != nil {
+					t.Fatalf("corrupt-frame write failed locally: %v", werr)
+				}
+				if class == faults.NetTornFrame {
+					if !errors.Is(werr, faults.ErrInjected) {
+						t.Fatalf("torn-frame write error = %v, want ErrInjected", werr)
+					}
+				} else {
+					a.Close() //nolint:errcheck
+				}
+				if err := <-readErr; err == nil {
+					t.Fatal("peer accepted a torn/corrupt frame")
+				}
+				if inj.Fired(class) == 0 {
+					t.Fatalf("fault class %s never fired on the wire", class)
+				}
 			}
 
 			// SnapshotCorruption does not touch the Run path; exercise it

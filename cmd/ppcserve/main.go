@@ -9,24 +9,36 @@
 // compacts the log, and a restart with the same directory replays the tail
 // so no acknowledged point is lost to a crash (see /recovery).
 //
+// With -ship-addr set (requires -wal-dir) the server additionally acts as a
+// replication leader: predict-only replicas (cmd/ppcreplica) connect over
+// the binary protocol, receive a full state snapshot, and then tail the WAL
+// live; pkg/client connections are served predict RPCs on the same port.
+//
 // Usage:
 //
 //	ppcserve [-addr :8080] [-scale N] [-seed S] [-templates Q0,Q1,Q2,Q3]
 //	         [-cache N] [-ring N] [-load WORKERS] [-sigma S]
 //	         [-wal-dir DIR] [-wal-sync always|interval|never]
 //	         [-wal-sync-interval 100ms] [-checkpoint-every 1m]
+//	         [-ship-addr :7071] [-ship-max 8] [-ship-heartbeat 500ms]
+//	         [-ship-write-timeout 5s]
 //
 // Endpoints:
 //
-//	GET /metrics                 MetricsSnapshot as indented JSON (ppc-metrics/v1)
-//	GET /trace?template=Q1       recent decision traces, oldest first
-//	GET /stats?template=Q1       learner stats (omit template for all)
-//	GET /health                  per-template breaker and degraded-mode counters
-//	GET /run?template=Q1&values=0.3,0.4   run one instance at a plan-space point
-//	GET /recovery                LoadReport from startup recovery (404 when cold-started)
-//	POST /checkpoint             force a checkpoint + WAL compaction now
-//	GET /debug/vars              expvar (includes the metrics snapshot)
-//	GET /debug/pprof/            pprof profiles
+//	GET  /metrics                 MetricsSnapshot as indented JSON (ppc-metrics/v1)
+//	GET  /trace?template=Q1       recent decision traces, oldest first
+//	GET  /stats?template=Q1       learner stats (omit template for all)
+//	GET  /health                  per-template breaker and degraded-mode counters
+//	POST /run?template=Q1&values=0.3,0.4   run one instance at a plan-space point
+//	GET  /recovery                LoadReport from startup recovery (404 when cold-started)
+//	GET  /replication             leader-side replication gauges (404 without -wal-dir)
+//	POST /checkpoint              force a checkpoint + WAL compaction now
+//	GET  /debug/vars              expvar (includes the metrics snapshot)
+//	GET  /debug/pprof/            pprof profiles
+//
+// /run and /checkpoint mutate state (they feed the learner and rewrite the
+// checkpoint respectively) and therefore require POST; any other method gets
+// 405 with an Allow header.
 package main
 
 import (
@@ -38,16 +50,18 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/replica"
 	"repro/internal/tpch"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -58,6 +72,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppcserve:", err)
 		os.Exit(1)
 	}
+}
+
+// expvar.Publish panics on a duplicate name, and the registry is global and
+// append-only — so the publication happens once per process and reads the
+// current system through a pointer that run() swaps in. Tests that call
+// run()-style setup repeatedly stay safe.
+var (
+	expvarSys  atomic.Pointer[ppc.System]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(sys *ppc.System) {
+	expvarSys.Store(sys)
+	expvarOnce.Do(func() {
+		expvar.Publish("ppc_metrics", expvar.Func(func() any {
+			s := expvarSys.Load()
+			if s == nil {
+				return nil
+			}
+			snap, err := s.MetricsSnapshot()
+			if err != nil {
+				return map[string]string{"error": err.Error()}
+			}
+			return snap
+		}))
+	})
 }
 
 // run holds the whole server lifecycle so that every exit path — flag
@@ -77,7 +117,15 @@ func run() (err error) {
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
 	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (requires -wal-dir)")
+	shipAddr := flag.String("ship-addr", "", "binary-protocol listen address for replicas and clients (requires -wal-dir)")
+	shipMax := flag.Int("ship-max", 8, "max concurrent replica ship streams (admission cap)")
+	shipHeartbeat := flag.Duration("ship-heartbeat", 500*time.Millisecond, "leader->replica heartbeat cadence")
+	shipWriteTimeout := flag.Duration("ship-write-timeout", 5*time.Second, "per-write deadline on ship streams (slow followers are disconnected)")
 	flag.Parse()
+
+	if *shipAddr != "" && *walDir == "" {
+		return errors.New("-ship-addr requires -wal-dir (replicas tail the WAL)")
+	}
 
 	var durability ppc.Durability
 	if *walDir != "" {
@@ -137,19 +185,53 @@ func run() (err error) {
 		}(w)
 	}
 
-	// expvar: republish the snapshot under a stable key so `GET /debug/vars`
-	// carries the same data as /metrics.
-	expvar.Publish("ppc_metrics", expvar.Func(func() any {
-		snap, err := sys.MetricsSnapshot()
-		if err != nil {
-			return map[string]string{"error": err.Error()}
-		}
-		return snap
-	}))
+	publishExpvar(sys)
 
-	// The pprof and expvar handlers register on http.DefaultServeMux via
-	// their package init; add ours next to them.
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	if *shipAddr != "" {
+		ship, err := replica.Serve(replica.Config{
+			Addr:         *shipAddr,
+			Source:       sys,
+			MaxShips:     *shipMax,
+			Heartbeat:    *shipHeartbeat,
+			WriteTimeout: *shipWriteTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		defer ship.Close() //nolint:errcheck
+		epoch, err := sys.ReplicationEpoch()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ppcserve: shipping state on %s (lineage %x, cap %d)\n",
+			ship.Addr(), epoch, *shipMax)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(sys)}
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "ppcserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx) //nolint:errcheck
+	}()
+	fmt.Fprintf(os.Stderr, "ppcserve: serving %s on %s (load workers: %d, wal: %v)\n",
+		strings.Join(names, ","), *addr, *load, *walDir != "")
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	wg.Wait()
+	return nil
+}
+
+// newMux builds the server's handler on a dedicated ServeMux. Nothing here
+// touches http.DefaultServeMux: pprof and expvar are mounted explicitly, so
+// a third-party import that registers a debug handler on the default mux
+// (or a second server in the same process) cannot silently expose it — or
+// collide with us — on this listener.
+func newMux(sys *ppc.System) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := sys.MetricsSnapshot()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
@@ -157,7 +239,7 @@ func run() (err error) {
 		}
 		writeJSON(w, snap)
 	})
-	http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("template")
 		if name == "" {
 			httpError(w, http.StatusBadRequest, errors.New("missing ?template="))
@@ -170,7 +252,7 @@ func run() (err error) {
 		}
 		writeJSON(w, trace)
 	})
-	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		want := sys.TemplateNames()
 		if name := r.URL.Query().Get("template"); name != "" {
 			want = []string{name}
@@ -186,7 +268,7 @@ func run() (err error) {
 		}
 		writeJSON(w, out)
 	})
-	http.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		names := sys.TemplateNames()
 		out := make([]ppc.Health, 0, len(names))
 		for _, name := range names {
@@ -199,7 +281,7 @@ func run() (err error) {
 		}
 		writeJSON(w, out)
 	})
-	http.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/run", postOnly(func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("template")
 		point, err := parsePoint(r.URL.Query().Get("values"))
 		if name == "" || err != nil {
@@ -235,8 +317,8 @@ func run() (err error) {
 			"degraded":  res.Degraded,
 			"rows":      rows,
 		})
-	})
-	http.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
 		rep := sys.LoadStateReport()
 		if rep == nil {
 			httpError(w, http.StatusNotFound, errors.New("cold start: no recovery was performed"))
@@ -244,29 +326,43 @@ func run() (err error) {
 		}
 		writeJSON(w, rep)
 	})
-	http.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+		rep := sys.ReplMetrics()
+		if rep == nil {
+			httpError(w, http.StatusNotFound, errors.New("durability disabled: nothing to replicate"))
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/checkpoint", postOnly(func(w http.ResponseWriter, r *http.Request) {
 		if err := sys.Checkpoint(); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, sys.WALMetrics())
-	})
+	}))
+	// Debug surfaces, mounted explicitly on this mux.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	srv := &http.Server{Addr: *addr}
-	go func() {
-		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "ppcserve: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutCtx) //nolint:errcheck
-	}()
-	fmt.Fprintf(os.Stderr, "ppcserve: serving %s on %s (load workers: %d, wal: %v)\n",
-		strings.Join(names, ","), *addr, *load, *walDir != "")
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+// postOnly rejects non-POST methods with 405. The wrapped handlers mutate
+// state, so a crawler, a prefetcher or a curious GET must not trigger them.
+func postOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			httpError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("%s mutates state; use POST (got %s)", r.URL.Path, r.Method))
+			return
+		}
+		h(w, r)
 	}
-	wg.Wait()
-	return nil
 }
 
 // generateLoad replays an endless trajectory workload against one template

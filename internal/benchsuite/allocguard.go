@@ -15,8 +15,10 @@ import (
 // archaeology session months later.
 // WALAppend joins the list with PR 5: the append runs under the learner's
 // write lock, so an allocation there would stall the feedback path the same
-// way a predictor allocation would stall serving.
-var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "PredictModelSnapshot", "InsertApproxLSHHist", "WALAppend"}
+// way a predictor allocation would stall serving. ReplicaPredict joins with
+// PR 8: a follower exists to absorb read load, so its serving path carries
+// the same contract as the leader's.
+var ZeroAllocBenchmarks = []string{"PredictApproxLSHHist", "PredictModelSnapshot", "InsertApproxLSHHist", "WALAppend", "ReplicaPredict"}
 
 // CheckZeroAlloc measures the named suite entries under testing.Benchmark
 // and returns an error naming every entry that allocated. progress may be

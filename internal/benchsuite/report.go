@@ -29,6 +29,7 @@ var Suite = []struct {
 	{"RunMixedSerial", RunMixedSerial},
 	{"RunParallel", RunParallel},
 	{"RunHotTemplateParallel", RunHotTemplateParallel},
+	{"ReplicaPredict", ReplicaPredict},
 }
 
 // Result is one benchmark measurement in machine-readable form.
@@ -93,6 +94,18 @@ type Report struct {
 	// enforces RunAllocsPerOp <= 500 in tier 1).
 	RunAllocsPerOp float64 `json:"run_allocs_per_op,omitempty"`
 	RebindNs       float64 `json:"rebind_ns,omitempty"`
+	// ReplicaPredictNs surfaces the ReplicaPredict ns/op (the follower's
+	// serving path; the alloc guard holds it at zero allocations), and the
+	// next two the PR 8 replication measurements: ReplicaCatchupMs is the
+	// wall time a fresh replica took to install a snapshot of the WAL
+	// substrate and drain the backlog, ReplicationLagRecords the peak
+	// applied-record lag it observed while tailing a live write burst.
+	// The lag field is deliberately not omitempty: when the replication
+	// measurement ran (ReplicaCatchupMs > 0), a recorded 0 is the result —
+	// shipping kept pace with the write rate — not an absence.
+	ReplicaPredictNs      float64 `json:"replica_predict_ns,omitempty"`
+	ReplicaCatchupMs      float64 `json:"replica_catchup_ms,omitempty"`
+	ReplicationLagRecords uint64  `json:"replication_lag_records"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -151,6 +164,18 @@ func RunSuite(progress io.Writer) (Report, error) {
 	}
 	rep.RecoveryMs = ms
 	rep.RecoveryReplayed = replayed
+	if rp, ok := rep.Find("ReplicaPredict"); ok {
+		rep.ReplicaPredictNs = rp.NsPerOp
+	}
+	if progress != nil {
+		fmt.Fprintln(progress, "measuring replication...")
+	}
+	catchup, lag, err := MeasureReplication()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.ReplicaCatchupMs = catchup
+	rep.ReplicationLagRecords = lag
 	return rep, nil
 }
 
@@ -235,6 +260,12 @@ func WriteComparison(w io.Writer, old, cur Report) {
 	}
 	if old.RecoveryMs > 0 || cur.RecoveryMs > 0 {
 		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "recovery ms", old.RecoveryMs, cur.RecoveryMs)
+	}
+	if old.ReplicaCatchupMs > 0 || cur.ReplicaCatchupMs > 0 {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f\n", "replica catchup ms", old.ReplicaCatchupMs, cur.ReplicaCatchupMs)
+	}
+	if old.ReplicationLagRecords > 0 || cur.ReplicationLagRecords > 0 {
+		fmt.Fprintf(w, "%-24s %14d %14d\n", "replication peak lag", old.ReplicationLagRecords, cur.ReplicationLagRecords)
 	}
 }
 

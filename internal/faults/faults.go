@@ -43,6 +43,13 @@ const (
 	// WALTornTail writes a partial frame and then silences the log for the
 	// rest of the process lifetime, simulating power loss mid-append.
 	WALTornTail
+	// NetTornFrame makes a protocol writer send only a prefix of a frame and
+	// then fail the connection, simulating a peer dying mid-write.
+	NetTornFrame
+	// NetCorruptFrame flips one byte of an encoded protocol frame after its
+	// checksum was computed, simulating corruption on the wire. The receiver
+	// must detect it via the frame CRC and drop the connection.
+	NetCorruptFrame
 
 	numClasses
 )
@@ -52,6 +59,7 @@ var Classes = []Class{
 	OptimizerError, OptimizerLatency, ExecutorError,
 	LearnerMisprediction, SnapshotCorruption,
 	WALShortWrite, WALFsyncError, WALTornTail,
+	NetTornFrame, NetCorruptFrame,
 }
 
 // String names the class.
@@ -73,6 +81,10 @@ func (c Class) String() string {
 		return "wal-fsync-error"
 	case WALTornTail:
 		return "wal-torn-tail"
+	case NetTornFrame:
+		return "net-torn-frame"
+	case NetCorruptFrame:
+		return "net-corrupt-frame"
 	}
 	return fmt.Sprintf("faults.Class(%d)", int(c))
 }

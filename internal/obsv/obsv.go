@@ -38,6 +38,7 @@ type Registry struct {
 	ringSize  int
 	cache     CacheObs
 	wal       WALObs
+	repl      ReplObs
 }
 
 // NewRegistry creates a registry whose templates keep the last ringSize
@@ -82,6 +83,10 @@ func (r *Registry) Cache() *CacheObs { return &r.cache }
 
 // WAL returns the durability layer's counters.
 func (r *Registry) WAL() *WALObs { return &r.wal }
+
+// Repl returns the replication layer's counters (leader shipping on a
+// leader, stream consumption on a replica).
+func (r *Registry) Repl() *ReplObs { return &r.repl }
 
 // CacheObs counts shared-plan-cache traffic at the serving level: a hit is
 // a plan-tree resolution served from the cached tree, a miss is a

@@ -1,0 +1,206 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/replica"
+)
+
+// echoPredictor answers every request with a fixed plan and counts calls.
+type echoPredictor struct {
+	calls atomic.Int64
+	delay time.Duration
+}
+
+func (p *echoPredictor) PredictRPC(req netproto.PredictRequest) netproto.PredictResult {
+	p.calls.Add(1)
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if req.Template == "missing" {
+		return netproto.PredictResult{ID: req.ID, Status: netproto.StatusUnknownTemplate, ErrMsg: req.Template}
+	}
+	if req.Template == "null" {
+		return netproto.PredictResult{ID: req.ID, Status: netproto.StatusNoPrediction}
+	}
+	return netproto.PredictResult{
+		ID: req.ID, Status: netproto.StatusOK, Plan: 7, Confidence: 0.9,
+		Cost: 42, CostKnown: true, Fingerprint: "plan-7",
+	}
+}
+
+func newServer(t *testing.T, p replica.Predictor) *replica.Server {
+	t.Helper()
+	srv, err := replica.Serve(replica.Config{Addr: "127.0.0.1:0", Predictor: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return srv
+}
+
+func TestPredictRoundTrip(t *testing.T) {
+	pred := &echoPredictor{}
+	srv := newServer(t, pred)
+	cl, err := Dial(Options{Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	res, err := cl.Predict("Q1", []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netproto.StatusOK || res.Plan != 7 || res.Fingerprint != "plan-7" {
+		t.Fatalf("result %+v", res)
+	}
+
+	// NULL is an answer, not an error.
+	res, err = cl.Predict("null", []float64{0.25})
+	if err != nil || res.Status != netproto.StatusNoPrediction {
+		t.Fatalf("null predict: %+v, %v", res, err)
+	}
+
+	// An unknown template is a typed failure — surfaced, not retried.
+	before := pred.calls.Load()
+	if _, err := cl.Predict("missing", []float64{0.25}); err == nil {
+		t.Fatal("unknown template accepted")
+	}
+	if pred.calls.Load() != before+1 {
+		t.Errorf("typed rejection retried: %d extra calls", pred.calls.Load()-before-1)
+	}
+}
+
+func TestDialFailsFastOnBadAddr(t *testing.T) {
+	if _, err := Dial(Options{Addr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond,
+		MaxRetries: -1, RetryBackoff: time.Millisecond}); err == nil {
+		t.Fatal("dial to a dead port succeeded")
+	}
+	if _, err := Dial(Options{}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+// TestRetryAfterConnectionLoss kills the pooled connection between calls;
+// the retry layer must dial a fresh one transparently.
+func TestRetryAfterConnectionLoss(t *testing.T) {
+	pred := &echoPredictor{}
+	srv := newServer(t, pred)
+	cl, err := Dial(Options{Addr: srv.Addr(), RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	if _, err := cl.Predict("Q1", []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the pooled connection from the client side.
+	cl.mu.Lock()
+	for _, conn := range cl.idle {
+		conn.NetConn().Close() //nolint:errcheck
+	}
+	cl.mu.Unlock()
+
+	if _, err := cl.Predict("Q1", []float64{0.5}); err != nil {
+		t.Fatalf("predict after connection loss: %v", err)
+	}
+}
+
+// TestVersionMismatchSurfaced: a server that rejects the client's protocol
+// version must produce a typed, non-retried error on the first call.
+func TestConcurrentCallsUnderInFlightCap(t *testing.T) {
+	pred := &echoPredictor{delay: 10 * time.Millisecond}
+	srv := newServer(t, pred)
+	cl, err := Dial(Options{Addr: srv.Addr(), MaxInFlight: 2, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	const calls = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.Predict("Q1", []float64{0.5})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 16 calls at 10ms on 2 slots cannot finish faster than ~80ms; the cap
+	// is real backpressure, not a hint.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("16 capped calls finished in %v; in-flight cap not enforced", elapsed)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	pred := &echoPredictor{delay: 2 * time.Second}
+	srv := newServer(t, pred)
+	cl, err := Dial(Options{
+		Addr: srv.Addr(), CallTimeout: 100 * time.Millisecond,
+		MaxRetries: -1, RetryBackoff: time.Millisecond, Lazy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	start := time.Now()
+	if _, err := cl.Predict("Q1", []float64{0.5}); err == nil {
+		t.Fatal("slow server call did not time out")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	srv := newServer(t, &echoPredictor{})
+	cl, err := Dial(Options{Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Predict("Q1", []float64{0.5}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("predict on closed client: %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	pred := &echoPredictor{}
+	srv := newServer(t, pred)
+	cl, err := Dial(Options{Addr: srv.Addr(), PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Predict("Q1", []float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.mu.Lock()
+	idle := len(cl.idle)
+	cl.mu.Unlock()
+	if idle != 1 {
+		t.Errorf("%d idle connections after sequential calls, want 1 (reused)", idle)
+	}
+}

@@ -25,6 +25,7 @@
 package ppc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -193,6 +194,12 @@ type System struct {
 	checkpointStop chan struct{}
 	checkpointDone chan struct{}
 	checkpointOnce sync.Once
+
+	// lineage is the leader lineage epoch (see ReplicationEpoch), minted
+	// lazily on first use and persisted under the durability directory.
+	lineageOnce sync.Once
+	lineage     uint64
+	lineageErr  error
 
 	opts Options
 }
@@ -444,7 +451,9 @@ func Open(opts Options) (*System, error) {
 	if opts.Durability.Dir != "" {
 		if err := s.openDurable(); err != nil {
 			if s.wal != nil {
-				s.wal.Close() //nolint:errcheck
+				// The final fsync's verdict matters even on the failure
+				// path: join it so a dirty close is not reported as clean.
+				err = errors.Join(err, s.wal.Close())
 			}
 			return nil, err
 		}
@@ -1140,6 +1149,10 @@ type MetricsSnapshot struct {
 	// WAL carries the durability layer's counters; nil (omitted) when
 	// durability is disabled. Additive — the schema version is unchanged.
 	WAL *obsv.WALSnapshot `json:"wal,omitempty"`
+	// Replication carries the replication layer's counters (leader
+	// shipping gauges, or a replica's lag and stream counters); nil when
+	// the process neither ships nor consumes state. Additive.
+	Replication *obsv.ReplSnapshot `json:"replication,omitempty"`
 }
 
 // MetricsSnapshot assembles the current metrics across all templates. Each
@@ -1196,6 +1209,7 @@ func (s *System) MetricsSnapshot() (snap MetricsSnapshot, err error) {
 	s.cacheMu.RUnlock()
 	snap.Cache.CacheSnapshot = s.cacheObs.Snapshot()
 	snap.WAL = s.WALMetrics()
+	snap.Replication = s.ReplMetrics()
 	return snap, nil
 }
 
