@@ -9,7 +9,7 @@ FUZZTIME ?= 15s
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR8.json
+BENCH_OUT  ?= BENCH_PR9.json
 
 # Where `make profile` drops its pprof output.
 PROFILE_DIR ?= profiles

@@ -1,0 +1,261 @@
+package ppc
+
+// End-to-end tests for the adaptive statistics layer: a deliberately
+// distorted base estimator (stats.Distorted via Options.StatsWrap) makes
+// the optimizer's selectivity estimates diverge from execution truth, and
+// the correction learner must pull them back — shrinking the measured
+// estimation q-error, flipping plan choices back to the ones an
+// undistorted optimizer makes, and doing both without destabilizing the
+// plan-space cluster learner.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tpch"
+)
+
+// distortLineitem inflates the base selectivity estimate of every
+// predicate on lineitem.l_partkey by 6x — a biased base estimator within
+// the correction clamp [1/8, 8], so the adaptive layer can fully absorb
+// it.
+func distortLineitem(p stats.Provider) stats.Provider {
+	return &stats.Distorted{
+		Provider: p,
+		Sel: func(table, col string, sel float64) float64 {
+			if table == "lineitem" && col == "l_partkey" {
+				return sel * 6
+			}
+			return sel
+		},
+	}
+}
+
+// openDistorted opens a Scale-1000 system with the distorted base
+// estimator, synchronous feedback (corrections apply before the next
+// run's optimization), and the adaptive layer on or off.
+func openDistorted(t *testing.T, disableAdaptive bool) *System {
+	t.Helper()
+	sys, err := Open(Options{
+		TPCH:                 tpch.Config{Scale: 1000, Seed: 5},
+		Online:               onlineForTest(),
+		FeedbackQueue:        -1,
+		StatsWrap:            distortLineitem,
+		DisableAdaptiveStats: disableAdaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() }) //nolint:errcheck
+	return sys
+}
+
+// runSkewed issues n Q1 runs over a skewed neighborhood: a moderate
+// s_date selectivity and a highly selective l_partkey bound. The range
+// [0.01, 0.07] straddles the index/seq-scan crossover (~0.03 true
+// selectivity), so correcting the 6x overestimate genuinely moves plan
+// choices inside the workload.
+func runSkewed(t *testing.T, sys *System, n int, seed int64) {
+	t.Helper()
+	tmpl, err := sys.Template("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		point := []float64{0.25 + rng.Float64()*0.1, 0.01 + rng.Float64()*0.06}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run("Q1", inst.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// qErrorP95 extracts Q1's estimation q-error p95 from a metrics snapshot.
+func qErrorP95(t *testing.T, sys *System) float64 {
+	t.Helper()
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range snap.Templates {
+		if tm.Template == "Q1" {
+			if tm.EstimationQError.Count == 0 {
+				t.Fatal("no q-error observations recorded; harvest is not running")
+			}
+			return tm.EstimationQError.Quantile(0.95)
+		}
+	}
+	t.Fatal("no Q1 in snapshot")
+	return 0
+}
+
+// TestAdaptiveStatsReduceQError is the tentpole acceptance criterion:
+// under a skewed workload whose true selectivities diverge from the (6x
+// distorted) base estimates, the corrected system's p95 estimation
+// q-error must be at least 2x lower than the static provider's.
+func TestAdaptiveStatsReduceQError(t *testing.T) {
+	static := openDistorted(t, true)
+	adaptive := openDistorted(t, false)
+	for _, sys := range []*System{static, adaptive} {
+		if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+			t.Fatal(err)
+		}
+		runSkewed(t, sys, 400, 42)
+	}
+
+	staticP95 := qErrorP95(t, static)
+	adaptiveP95 := qErrorP95(t, adaptive)
+	t.Logf("estimation q-error p95: static %.2f, adaptive %.2f", staticP95, adaptiveP95)
+	if staticP95 < 2 {
+		t.Fatalf("distortion did not register: static p95 = %.2f", staticP95)
+	}
+	if adaptiveP95*2 > staticP95 {
+		t.Errorf("adaptive p95 %.2f not 2x below static %.2f", adaptiveP95, staticP95)
+	}
+
+	// The adaptive layer's state is visible on the stats surface: warmed
+	// correction sites and an advanced epoch.
+	st, err := adaptive.TemplateStats("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorrectionSites == 0 {
+		t.Error("no correction site past cold start after 400 runs")
+	}
+	if st.CorrectionEpoch == 0 {
+		t.Error("correction epoch never advanced despite a 6x base bias")
+	}
+	// The static system reports the layer disabled.
+	if st2, err := static.TemplateStats("Q1"); err != nil || st2.CorrectionEpoch != 0 || st2.CorrectionSites != 0 {
+		t.Errorf("static system reports correction state: %+v (err %v)", st2, err)
+	}
+}
+
+// TestAdaptiveStatsFlipPlanChoice: the 6x overestimate pushes the
+// optimizer off the plan it would pick with truthful statistics; once the
+// corrections converge, the same optimizer at the same parameter values
+// must flip back to the undistorted choice — and memo caches must have
+// re-derived (invalidation counted) rather than serving stale costs.
+func TestAdaptiveStatsFlipPlanChoice(t *testing.T) {
+	// Ground truth: no distortion.
+	truth, err := Open(Options{
+		TPCH:          tpch.Config{Scale: 1000, Seed: 5},
+		Online:        onlineForTest(),
+		FeedbackQueue: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer truth.Close() //nolint:errcheck
+	static := openDistorted(t, true)
+	adaptive := openDistorted(t, false)
+	for _, sys := range []*System{truth, static, adaptive} {
+		if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tmpl, err := adaptive.Template("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := adaptive.Optimizer().InstanceAt(tmpl, []float64{0.3, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprint := func(sys *System) string {
+		plan, err := sys.Optimizer().Optimize(tmpl.Query, probe.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Fingerprint
+	}
+
+	truthFP := fingerprint(truth)
+	staticFP := fingerprint(static)
+	if staticFP == truthFP {
+		t.Fatalf("distortion does not change the plan at the probe point; test is vacuous (%s)", truthFP)
+	}
+	// Cold corrections are bit-identical to the static provider.
+	if coldFP := fingerprint(adaptive); coldFP != staticFP {
+		t.Fatalf("cold adaptive optimizer diverges from static: %s vs %s", coldFP, staticFP)
+	}
+
+	runSkewed(t, adaptive, 300, 7)
+	if warmFP := fingerprint(adaptive); warmFP != truthFP {
+		t.Errorf("corrected optimizer picks %s, undistorted optimizer picks %s", warmFP, truthFP)
+	}
+	// The correction shift invalidated the template's memo.
+	snap, err := adaptive.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range snap.Templates {
+		if tm.Template == "Q1" && tm.Counters.MemoInvalidations == 0 {
+			t.Error("plan crossover moved but no memo invalidation was counted")
+		}
+	}
+}
+
+// TestAdaptiveDriftInteraction: when corrections shift a template's plan
+// crossover points mid-workload, the plan-space cluster learner must
+// re-converge on the new plan geometry — bounded drift resets and a
+// recovering hit rate — rather than thrash.
+func TestAdaptiveDriftInteraction(t *testing.T) {
+	sys := openDistorted(t, false)
+	if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 converges the learner on the distorted optimizer's plans
+	// while the corrections warm up underneath it; phase 2 runs long after
+	// every crossover shift has happened.
+	runSkewed(t, sys, 300, 11)
+	mid, err := sys.TemplateStats("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := sys.Template("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	lateHits, lateRuns := 0, 0
+	for i := 0; i < 300; i++ {
+		point := []float64{0.25 + rng.Float64()*0.1, 0.04 + rng.Float64()*0.06}
+		inst, err := sys.Optimizer().InstanceAt(tmpl, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run("Q1", inst.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 200 {
+			lateRuns++
+			if res.CacheHit {
+				lateHits++
+			}
+		}
+	}
+	final, err := sys.TemplateStats("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-convergence, not thrash: after the corrections settle, the
+	// learner stops resetting and serves from cache again.
+	if extra := final.Resets - mid.Resets; extra > 3 {
+		t.Errorf("learner reset %d times after the corrections settled; crossover shift caused thrash", extra)
+	}
+	if lateHits*2 < lateRuns {
+		t.Errorf("late-phase cache hits %d/%d; learner did not re-converge", lateHits, lateRuns)
+	}
+	if final.SamplesAbsorbed == 0 {
+		t.Error("learner synopsis empty after drift interaction")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obsv"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -78,6 +79,23 @@ func (w *walSink) LogFeedback(fb *core.Feedback) (uint64, error) {
 // Commit is the per-batch group-commit barrier.
 func (w *walSink) Commit() error { return w.log.Commit() }
 
+// LogCorrection appends one correction-state record (stats.CorrLogger).
+// Runs under Corrections.mu — a leaf below every other lock — while the log
+// serializes on its own mutex. Records carry absolute post-update state, so
+// replay is idempotent by construction.
+func (w *walSink) LogCorrection(rec *stats.CorrRecord) (uint64, error) {
+	r := wal.Record{
+		Kind:      wal.RecordCorrection,
+		Template:  w.template,
+		CorrEpoch: rec.Epoch,
+		Site:      uint32(rec.Site),
+		LogC:      rec.LogC,
+		N:         rec.N,
+		Ref:       rec.Ref,
+	}
+	return w.log.Append(&r)
+}
+
 // openDurable runs the recovery sequence for a freshly opened System:
 // open (and repair) the WAL, load the latest checkpoint, replay the WAL
 // tail, stash records for unregistered templates, and start the background
@@ -100,6 +118,7 @@ func (s *System) openDurable() error {
 	}
 	s.wal = log
 	s.walPending = make(map[string][]core.Feedback)
+	s.corrPending = make(map[string][]stats.CorrRecord)
 
 	// Load the latest checkpoint. A missing file is a first boot; an
 	// unreadable or corrupt one degrades to cold learners (LoadState's
@@ -137,9 +156,23 @@ func (s *System) openDurable() error {
 
 	// Replay the tail. Records are globally ordered by sequence number;
 	// grouping by template preserves each learner's relative order, which
-	// is the only order that matters (learners share no state).
+	// is the only order that matters (learners share no state). Correction
+	// records ride the same log under their own kind and replay into the
+	// template's correction state rather than its learner.
 	byTemplate := make(map[string][]core.Feedback)
+	corrByTemplate := make(map[string][]stats.CorrRecord)
 	for _, r := range recov.Records {
+		if r.Kind == wal.RecordCorrection {
+			corrByTemplate[r.Template] = append(corrByTemplate[r.Template], stats.CorrRecord{
+				Seq:   r.Seq,
+				Epoch: r.CorrEpoch,
+				Site:  int(r.Site),
+				LogC:  r.LogC,
+				N:     r.N,
+				Ref:   r.Ref,
+			})
+			continue
+		}
 		byTemplate[r.Template] = append(byTemplate[r.Template], core.Feedback{
 			Point:       r.Point,
 			Plan:        int(r.Plan),
@@ -169,6 +202,22 @@ func (s *System) openDurable() error {
 		report.WALSkipped += skipped
 		report.WALStale += stale
 	}
+	for name, recs := range corrByTemplate {
+		st := states[name]
+		if st == nil || st.online.Corrections() == nil {
+			s.corrPending[name] = recs
+			report.WALPending += len(recs)
+			continue
+		}
+		corr := st.online.Corrections()
+		for _, rec := range recs {
+			if corr.Replay(rec) {
+				report.WALReplayed++
+			} else {
+				report.WALSkipped++
+			}
+		}
+	}
 	// Every learner — checkpoint-restored or registered later — gets its
 	// WAL sink in registerLocked (s.wal is already set when LoadState
 	// re-registers the saved templates above).
@@ -192,7 +241,7 @@ func (s *System) openDurable() error {
 // changed shape between crash and restart). Callers hold s.regMu.
 func (s *System) replayPendingLocked(name string, st *templateState) {
 	batch := s.walPending[name]
-	if len(batch) == 0 {
+	if len(batch) == 0 && len(s.corrPending[name]) == 0 {
 		return
 	}
 	t0 := time.Now()
@@ -208,11 +257,25 @@ func (s *System) replayPendingLocked(name string, st *templateState) {
 		kept = append(kept, fb)
 	}
 	applied, skipped, stale := st.online.ReplayBatch(kept)
+	corrRecs := s.corrPending[name]
+	delete(s.corrPending, name)
+	corrApplied, corrSkipped := 0, 0
+	if corr := st.online.Corrections(); corr != nil {
+		for _, rec := range corrRecs {
+			if corr.Replay(rec) {
+				corrApplied++
+			} else {
+				corrSkipped++
+			}
+		}
+	} else {
+		corrSkipped = len(corrRecs)
+	}
 	s.loadMu.Lock()
 	if r := s.lastLoad; r != nil {
-		r.WALPending -= len(batch)
-		r.WALReplayed += applied
-		r.WALSkipped += skipped
+		r.WALPending -= len(batch) + len(corrRecs)
+		r.WALReplayed += applied + corrApplied
+		r.WALSkipped += skipped + corrSkipped
 		r.WALStale += stale + mismatched
 		// Pending replay is recovery work deferred to registration time;
 		// fold it into the recovery wall clock so the report stays honest.

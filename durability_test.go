@@ -26,6 +26,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/stats"
 	"repro/internal/tpch"
 	"repro/internal/wal"
 )
@@ -146,6 +147,24 @@ func mustScan(t *testing.T, dir string) *wal.Recovery {
 		t.Fatal(err)
 	}
 	return recov
+}
+
+// feedbackTail splits a scan by record kind: the count of feedback
+// records and the newest feedback sequence. Correction records (kind 2)
+// share the WAL's sequence space but replay into the adaptive-statistics
+// state, not the learner synopsis, so learner-side invariants are audited
+// against the feedback tail specifically.
+func feedbackTail(scan *wal.Recovery) (count int, lastSeq uint64) {
+	for _, r := range scan.Records {
+		if r.Kind != wal.RecordFeedback {
+			continue
+		}
+		count++
+		if r.Seq > lastSeq {
+			lastSeq = r.Seq
+		}
+	}
+	return count, lastSeq
 }
 
 // statsTriple is the provenance fingerprint the suite compares across
@@ -299,22 +318,102 @@ func TestCrashRecoveryUnderAppendFaults(t *testing.T) {
 	defer sys2.Close() //nolint:errcheck
 	rep := sys2.LoadStateReport()
 	got := triple(t, sys2)
-	// The recovered synopsis holds exactly the scanned records (there is no
-	// checkpoint, so everything replays at Register).
+	fbCount, fbLast := feedbackTail(scan)
+	// The recovered state holds exactly the scanned records (there is no
+	// checkpoint, so everything — feedback and corrections — replays at
+	// Register), and the synopsis holds exactly the feedback subset.
 	if rep.WALReplayed != len(scan.Records) {
 		t.Errorf("replayed %d of %d scanned records", rep.WALReplayed, len(scan.Records))
 	}
-	if got.validated+got.selfLabeled != rep.WALReplayed {
-		t.Errorf("synopsis holds %d points, replayed %d", got.validated+got.selfLabeled, rep.WALReplayed)
+	if got.validated+got.selfLabeled != fbCount {
+		t.Errorf("synopsis holds %d points, scan holds %d feedback records", got.validated+got.selfLabeled, fbCount)
 	}
-	if got.appliedSeq != scan.LastSeq {
-		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	if got.appliedSeq != fbLast {
+		t.Errorf("recovered watermark %d, feedback tail says %d", got.appliedSeq, fbLast)
 	}
-	// Degraded durability is exactly the counted append errors: memory holds
-	// every acknowledged point, disk is short by precisely the failures.
+	// Degraded durability is bounded by the counted append errors: memory
+	// holds every acknowledged point, and the feedback records missing from
+	// disk are a subset of the counted failures (the rest hit correction
+	// records, which share the same fault-injected log).
 	lost := (acked.validated + acked.selfLabeled) - (got.validated + got.selfLabeled)
-	if lost != int(m.AppendErrors) {
-		t.Errorf("lost %d records to short writes, but %d append errors were counted", lost, m.AppendErrors)
+	if lost <= 0 || lost > int(m.AppendErrors) {
+		t.Errorf("lost %d feedback records to short writes, but %d append errors were counted", lost, m.AppendErrors)
+	}
+}
+
+// corrState snapshots Q1's correction state — epoch, WAL watermark and
+// every predicate site's absolute EWMA state — after flushing the applier.
+// This is the fingerprint correction crash recovery must restore exactly.
+func corrState(t *testing.T, sys *System) (epoch, seq uint64, sites []stats.SiteState) {
+	t.Helper()
+	st, err := sys.lookup("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.flush()
+	if st.corr == nil {
+		t.Fatal("adaptive statistics layer is off; correction recovery is vacuous")
+	}
+	return st.corr.State()
+}
+
+// TestCorrectionCrashRecovery is the adaptive-statistics half of the
+// crash contract: kill a System with correction factors accumulated both
+// below a checkpoint (restored from the snapshot's corrections section)
+// and above it (replayed from kind-2 WAL records), and the recovered
+// factors must be identical — and stay identical through a second
+// recovery.
+func TestCorrectionCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sys := openDurable(t, dir, nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 80, 3)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint corrections live only in the WAL tail.
+	runDurableWorkload(t, sys, 80, 4)
+	wantEpoch, wantSeq, wantSites := corrState(t, sys)
+	if wantSeq == 0 {
+		t.Fatal("no correction records logged; test is vacuous")
+	}
+	warmed := 0
+	for _, s := range wantSites {
+		if s.N > 0 {
+			warmed++
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("no site accumulated observations; test is vacuous")
+	}
+
+	crash := crashImage(t, dir)
+	sys2 := openDurable(t, crash, nil)
+	gotEpoch, gotSeq, gotSites := corrState(t, sys2)
+	if gotEpoch != wantEpoch || gotSeq != wantSeq {
+		t.Errorf("recovered correction (epoch %d, seq %d), want (%d, %d)", gotEpoch, gotSeq, wantEpoch, wantSeq)
+	}
+	for i := range wantSites {
+		if gotSites[i] != wantSites[i] {
+			t.Errorf("site %d recovered %+v, want %+v", i+1, gotSites[i], wantSites[i])
+		}
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotence: the close above checkpointed the recovered state, so a
+	// second recovery replays nothing new and the factors do not drift.
+	sys3 := openDurable(t, crash, nil)
+	defer sys3.Close() //nolint:errcheck
+	againEpoch, againSeq, againSites := corrState(t, sys3)
+	if againEpoch != wantEpoch || againSeq != wantSeq {
+		t.Errorf("double recovery drifted to (epoch %d, seq %d), want (%d, %d)", againEpoch, againSeq, wantEpoch, wantSeq)
+	}
+	for i := range wantSites {
+		if againSites[i] != wantSites[i] {
+			t.Errorf("site %d drifted to %+v after double recovery, want %+v", i+1, againSites[i], wantSites[i])
+		}
 	}
 }
 
@@ -366,8 +465,8 @@ func TestDegradeCorruptCheckpointValidWAL(t *testing.T) {
 	if rep.WALReplayed != len(scan.Records) {
 		t.Errorf("replayed %d of %d retained records", rep.WALReplayed, len(scan.Records))
 	}
-	if got.appliedSeq != scan.LastSeq {
-		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	if _, fbLast := feedbackTail(scan); got.appliedSeq != fbLast {
+		t.Errorf("recovered watermark %d, feedback tail says %d", got.appliedSeq, fbLast)
 	}
 	if rep.WALPending != 0 {
 		t.Errorf("%d records still pending after registration", rep.WALPending)
@@ -414,8 +513,8 @@ func TestDegradeValidCheckpointCorruptWALTail(t *testing.T) {
 		t.Errorf("checkpoint not restored: %+v", rep)
 	}
 	got := triple(t, sys2)
-	if got.appliedSeq != scan.LastSeq {
-		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	if _, fbLast := feedbackTail(scan); got.appliedSeq != fbLast {
+		t.Errorf("recovered watermark %d, feedback tail says %d", got.appliedSeq, fbLast)
 	}
 	if total := rep.WALReplayed + rep.WALSkipped + rep.WALStale; total != len(scan.Records) {
 		t.Errorf("replay accounting %d, scan holds %d records", total, len(scan.Records))
@@ -459,8 +558,8 @@ func TestDegradeBothCorrupt(t *testing.T) {
 		t.Errorf("WAL tear not reported: %+v", rep)
 	}
 	got := triple(t, sys2)
-	if got.appliedSeq != scan.LastSeq {
-		t.Errorf("recovered watermark %d, scan says %d", got.appliedSeq, scan.LastSeq)
+	if _, fbLast := feedbackTail(scan); got.appliedSeq != fbLast {
+		t.Errorf("recovered watermark %d, feedback tail says %d", got.appliedSeq, fbLast)
 	}
 	if rep.WALReplayed != len(scan.Records) {
 		t.Errorf("replayed %d of %d surviving records", rep.WALReplayed, len(scan.Records))

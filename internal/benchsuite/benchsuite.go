@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 	"repro/internal/optimizer"
 	"repro/internal/queries"
 	"repro/internal/tpch"
@@ -144,6 +145,23 @@ func ServingMetrics() (*ppc.MetricsSnapshot, bool) {
 		return nil, false
 	}
 	return &snap, true
+}
+
+// AdaptiveStatsSummary merges the Run substrate's per-template estimation
+// q-error histograms and memo-invalidation counters into the report's
+// top-level adaptive-statistics numbers. Zeroes when no Run benchmark has
+// built the shared System (q-errors are only observed on executed runs).
+func AdaptiveStatsSummary() (p50, p95 float64, memoInvalidations uint64) {
+	snap, ok := ServingMetrics()
+	if !ok {
+		return 0, 0, 0
+	}
+	var merged obsv.QHistSnapshot
+	for _, t := range snap.Templates {
+		merged = merged.Merge(t.EstimationQError)
+		memoInvalidations += t.Counters.MemoInvalidations
+	}
+	return merged.Quantile(0.50), merged.Quantile(0.95), memoInvalidations
 }
 
 // --- End-to-end Run substrate ----------------------------------------------

@@ -106,6 +106,14 @@ type Report struct {
 	ReplicaPredictNs      float64 `json:"replica_predict_ns,omitempty"`
 	ReplicaCatchupMs      float64 `json:"replica_catchup_ms,omitempty"`
 	ReplicationLagRecords uint64  `json:"replication_lag_records"`
+	// QErrorP50 and QErrorP95 summarize the estimation q-error distribution
+	// (estimated vs. observed operator cardinalities, merged across the Run
+	// substrate's templates), and MemoInvalidations counts the memo rebuilds
+	// correction-epoch movement forced — the PR 9 adaptive-statistics
+	// health numbers. All zero when no Run benchmark executed plans.
+	QErrorP50         float64 `json:"qerror_p50,omitempty"`
+	QErrorP95         float64 `json:"qerror_p95,omitempty"`
+	MemoInvalidations uint64  `json:"memo_invalidations"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -176,6 +184,7 @@ func RunSuite(progress io.Writer) (Report, error) {
 	}
 	rep.ReplicaCatchupMs = catchup
 	rep.ReplicationLagRecords = lag
+	rep.QErrorP50, rep.QErrorP95, rep.MemoInvalidations = AdaptiveStatsSummary()
 	return rep, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // Environment is the online driver's view of the RDBMS: it can invoke the
@@ -237,6 +238,13 @@ type Online struct {
 	// wal, when set, durably logs every applied feedback point. Written
 	// once at registration (before the template serves); read under mu.
 	wal FeedbackLogger
+	// corr, when set, is the template's adaptive-statistics correction
+	// state. The driver does not consult it for predictions — corrections
+	// move optimizer costing, not plan-space points — but it rides along in
+	// EncodeState/DecodeState so checkpoints and replica state shipping
+	// carry one self-contained learned state per template. Written once at
+	// registration, before the template serves.
+	corr *stats.Corrections
 	// appliedSeq is the WAL sequence number of the newest feedback point
 	// reflected in the synopsis. Persisted by EncodeState so recovery can
 	// replay exactly the records the checkpoint misses.
@@ -623,6 +631,23 @@ func (o *Online) SetWAL(l FeedbackLogger) {
 	o.mu.Unlock()
 }
 
+// AttachCorrections hands the driver the template's correction state so it
+// is persisted and shipped with the learner. Must be called before the
+// driver starts serving — registration time, not mid-flight.
+func (o *Online) AttachCorrections(c *stats.Corrections) {
+	o.mu.Lock()
+	o.corr = c
+	o.mu.Unlock()
+}
+
+// Corrections returns the attached correction state (nil when the adaptive
+// statistics layer is disabled).
+func (o *Online) Corrections() *stats.Corrections {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.corr
+}
+
 // AppliedSeq returns the WAL sequence number of the newest feedback point
 // reflected in the synopsis (0 when nothing was ever logged). Checkpoint
 // compaction uses it as the safe lower bound: every record at or below it
@@ -724,7 +749,16 @@ func (o *Online) EncodeState(w io.Writer) error {
 		o.validated.Load(), o.selfLabeled.Load(),
 		o.resets.Load(), int64(o.appliedSeq.Load()),
 	}
-	return binary.Write(w, binary.LittleEndian, trailer[:])
+	if err := binary.Write(w, binary.LittleEndian, trailer[:]); err != nil {
+		return err
+	}
+	// Optional correction section: present exactly when the adaptive
+	// statistics layer is attached. Decoders treat EOF here as "no
+	// corrections", which keeps pre-correction snapshots readable.
+	if o.corr != nil {
+		return o.corr.Encode(w)
+	}
+	return nil
 }
 
 // DecodeState restores a driver state written by EncodeState and publishes
@@ -748,6 +782,14 @@ func (o *Online) DecodeState(r io.Reader) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.corr != nil {
+		// Restore the optional correction section; a snapshot without one
+		// (pre-correction build, or adaptive stats off at save time) resets
+		// the corrections to cold rather than keeping unrelated state.
+		if err := o.corr.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
 	o.pred = pred
 	o.validated.Store(counters[0])
 	o.selfLabeled.Store(counters[1])

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/stats"
 )
 
 // PredictModel predicts at plan-space point x against the current published
@@ -71,6 +72,14 @@ func NewReplicaOnline(r io.Reader) (*Online, error) {
 	o.selfLabeled.Store(trailer[1])
 	o.resets.Store(trailer[2])
 	o.appliedSeq.Store(uint64(trailer[3]))
+	// The optional correction section ships with the learner so replica
+	// state stays in lockstep with the leader's per epoch; a stream without
+	// one (leader running without adaptive stats) leaves corr nil.
+	corr, err := stats.DecodeCorrections(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: replica correction state: %w", err)
+	}
+	o.corr = corr
 	o.snap.Store(pred.Freeze())
 	return o, nil
 }

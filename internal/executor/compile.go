@@ -58,6 +58,12 @@ type cNode struct {
 	left  *cNode
 	right *cNode // nil for scans and index-nested-loop joins
 
+	// lineage is the plan node this operator was compiled from. It ties
+	// observed cardinalities (ExecObserve) back to the optimizer's
+	// estimates and, through Node.IndexSite/JoinSite, to the template
+	// predicate sites the adaptive statistics layer corrects.
+	lineage *optimizer.Node
+
 	rels  []relBind
 	slots []int // arena slot per relation, parallel to rels
 
@@ -218,10 +224,11 @@ func (c *compiler) scan(n *optimizer.Node) (*cNode, error) {
 		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
 	}
 	cn := &cNode{
-		op:    n.Op,
-		table: t,
-		rels:  []relBind{{table: t, alias: n.Alias}},
-		slots: []int{c.alloc()},
+		op:      n.Op,
+		lineage: n,
+		table:   t,
+		rels:    []relBind{{table: t, alias: n.Alias}},
+		slots:   []int{c.alloc()},
 	}
 	if n.Op == optimizer.OpIndexScan {
 		ix := t.Indexes[n.IndexCol]
@@ -256,7 +263,7 @@ func (c *compiler) join(n *optimizer.Node) (*cNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	cn := &cNode{op: n.Op, left: left, right: right}
+	cn := &cNode{op: n.Op, lineage: n, left: left, right: right}
 	cn.rels = append(append(make([]relBind, 0, len(left.rels)+len(right.rels)), left.rels...), right.rels...)
 	cn.slots = make([]int, len(cn.rels))
 	for i := range cn.slots {
@@ -310,7 +317,7 @@ func (c *compiler) inlJoin(n *optimizer.Node) (*cNode, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("executor: no index on %s.%s", inner.Table, inner.IndexCol)
 	}
-	cn := &cNode{op: n.Op, left: left, table: t, index: ix}
+	cn := &cNode{op: n.Op, lineage: n, left: left, table: t, index: ix}
 	cn.rels = append(append(make([]relBind, 0, len(left.rels)+1), left.rels...), relBind{table: t, alias: inner.Alias})
 	cn.slots = make([]int, len(cn.rels))
 	for i := range cn.slots {

@@ -1,0 +1,80 @@
+// Cardinality harvesting: the compiled engine already materializes every
+// operator's output selection vector, so true per-operator cardinalities
+// are free — ExecObserve reads them out after a run, before the arena goes
+// back to the pool. Each observation carries the optimizer plan node the
+// operator was compiled from (its lineage), which is what maps the counts
+// back to template predicate sites for the adaptive statistics layer.
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/optimizer"
+)
+
+// CardObservation is one executed operator's observed cardinality.
+type CardObservation struct {
+	// Node is the optimizer plan node the operator was compiled from
+	// (read-only; owned by the plan cache).
+	Node *optimizer.Node
+	// Rows is the operator's observed output cardinality.
+	Rows float64
+	// LeftRows and RightRows are the observed input cardinalities of a
+	// join (for index-nested-loop joins RightRows is the inner table's
+	// total row count — the probe denominator). Zero for scans.
+	LeftRows  float64
+	RightRows float64
+	// Lo and Hi are the effective index scan bounds of this execution,
+	// with parameter-driven bounds already re-derived (they may differ
+	// from Node.IndexLo/Hi, which hold the values the plan was cached
+	// at). Only meaningful for index scans.
+	Lo, Hi float64
+}
+
+// ExecObserve runs the compiled plan like Exec and additionally harvests
+// per-operator observed cardinalities, appending them to obs (reusing its
+// capacity) in bottom-up order. The harvest reads vector lengths the run
+// already produced; it adds no per-row work.
+func (cp *CompiledPlan) ExecObserve(params []float64, obs []CardObservation) (*Result, []CardObservation, error) {
+	if err := cp.exec.faults.Fail(faults.ExecutorError); err != nil {
+		return nil, obs, fmt.Errorf("executor: %w", err)
+	}
+	if len(params) != cp.nParams {
+		return nil, obs, fmt.Errorf("executor: got %d parameters, want %d", len(params), cp.nParams)
+	}
+	ar := cp.pool.Get().(*Arena)
+	cp.run(cp.root, ar, params)
+	obs = harvest(cp.root, ar, params, obs)
+	var res *Result
+	if cp.agg != nil {
+		res = cp.materializeAgg(ar)
+	} else {
+		res = cp.materialize(ar)
+	}
+	cp.pool.Put(ar)
+	return res, obs, nil
+}
+
+func harvest(n *cNode, ar *Arena, params []float64, obs []CardObservation) []CardObservation {
+	if n == nil || n.lineage == nil {
+		return obs
+	}
+	obs = harvest(n.left, ar, params, obs)
+	obs = harvest(n.right, ar, params, obs)
+	o := CardObservation{Node: n.lineage, Rows: float64(len(ar.vecs[n.slots[0]]))}
+	switch n.op {
+	case optimizer.OpIndexScan:
+		o.Lo, o.Hi = n.lo, n.hi
+		for _, d := range n.derive {
+			o.Lo, o.Hi = optimizer.SargBoundsFor(d.Op, params[d.ParamIdx])
+		}
+	case optimizer.OpHashJoin, optimizer.OpMergeJoin, optimizer.OpNLJoin:
+		o.LeftRows = float64(len(ar.vecs[n.left.slots[0]]))
+		o.RightRows = float64(len(ar.vecs[n.right.slots[0]]))
+	case optimizer.OpIndexNLJoin:
+		o.LeftRows = float64(len(ar.vecs[n.left.slots[0]]))
+		o.RightRows = float64(n.table.NumRows())
+	}
+	return append(obs, o)
+}

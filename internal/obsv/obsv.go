@@ -163,6 +163,12 @@ type TemplateObs struct {
 	snapshotPublishes atomic.Uint64
 	queueDepth        atomic.Int64
 
+	// Adaptive-statistics health: per-run estimation q-errors (estimated
+	// vs. observed operator cardinalities, attributed to predicate sites)
+	// and memo rebuilds forced by correction-epoch movement.
+	memoInvalidations atomic.Uint64
+	qerror            QHist
+
 	predict  Hist
 	optimize Hist
 	execute  Hist
@@ -259,6 +265,20 @@ func (t *TemplateObs) RecordApply(d time.Duration, applied, dropped int) {
 // SetQueueDepth records the mailbox depth gauge (sampled by snapshots).
 func (t *TemplateObs) SetQueueDepth(n int) { t.queueDepth.Store(int64(n)) }
 
+// RecordQError records one estimation q-error (estimated vs. observed rows
+// for an operator attributed to a template predicate site).
+func (t *TemplateObs) RecordQError(q float64) { t.qerror.Record(q) }
+
+// CountMemoInvalidation records a memo rebuild forced by the adaptive
+// statistics epoch moving past the one the memo was built at.
+func (t *TemplateObs) CountMemoInvalidation() { t.memoInvalidations.Add(1) }
+
+// MemoInvalidations returns the memo-rebuild count.
+func (t *TemplateObs) MemoInvalidations() uint64 { return t.memoInvalidations.Load() }
+
+// QError returns a snapshot of the estimation q-error histogram.
+func (t *TemplateObs) QError() QHistSnapshot { return t.qerror.Snapshot() }
+
 // BreakerTransition counts a circuit breaker state edge; a no-op when the
 // state did not change.
 func (t *TemplateObs) BreakerTransition(prev, cur metrics.BreakerState) {
@@ -317,6 +337,9 @@ type CounterSnapshot struct {
 	ApplyBatches      uint64 `json:"apply_batches"`
 	SnapshotPublishes uint64 `json:"snapshot_publishes"`
 	QueueDepth        int64  `json:"feedback_queue_depth"`
+	// MemoInvalidations counts memo rebuilds forced by correction-epoch
+	// movement in the adaptive statistics layer.
+	MemoInvalidations uint64 `json:"memo_invalidations"`
 }
 
 // TemplateSnapshot is the JSON form of one template's metrics.
@@ -328,6 +351,10 @@ type TemplateSnapshot struct {
 	ExecuteLatency  HistSnapshot    `json:"execute_latency"`
 	DegradedLatency HistSnapshot    `json:"degraded_latency"`
 	ApplyLatency    HistSnapshot    `json:"apply_latency"`
+	// EstimationQError is the distribution of per-operator estimation
+	// q-errors observed by executed runs (empty when execution or the
+	// adaptive statistics layer is disabled).
+	EstimationQError QHistSnapshot `json:"estimation_qerror"`
 }
 
 // Snapshot copies the template's counters and histograms.
@@ -357,11 +384,13 @@ func (t *TemplateObs) Snapshot() TemplateSnapshot {
 			ApplyBatches:         t.applyBatches.Load(),
 			SnapshotPublishes:    t.snapshotPublishes.Load(),
 			QueueDepth:           t.queueDepth.Load(),
+			MemoInvalidations:    t.memoInvalidations.Load(),
 		},
-		PredictLatency:  t.predict.Snapshot(),
-		OptimizeLatency: t.optimize.Snapshot(),
-		ExecuteLatency:  t.execute.Snapshot(),
-		DegradedLatency: t.degraded.Snapshot(),
-		ApplyLatency:    t.apply.Snapshot(),
+		PredictLatency:   t.predict.Snapshot(),
+		OptimizeLatency:  t.optimize.Snapshot(),
+		ExecuteLatency:   t.execute.Snapshot(),
+		DegradedLatency:  t.degraded.Snapshot(),
+		ApplyLatency:     t.apply.Snapshot(),
+		EstimationQError: t.qerror.Snapshot(),
 	}
 }

@@ -94,6 +94,13 @@ type Predicate struct {
 
 	// PredJoin:
 	RightCol ColRef
+
+	// Site is the predicate's 1-based position in the template's WHERE
+	// clause (its index in Query.Preds plus one), stamped by NewTemplate.
+	// It is the stable identity the adaptive statistics layer keys its
+	// correction factors on; 0 means "no site" (a bare Query outside a
+	// template) and disables corrections for the predicate.
+	Site int
 }
 
 func (p Predicate) String() string {
@@ -165,6 +172,11 @@ type Query struct {
 	Tables  []TableRef
 	Preds   []Predicate
 	GroupBy []ColRef
+
+	// Template is the owning template's name, stamped by NewTemplate. The
+	// stats layer keys per-template correction factors on it; empty (a bare
+	// Query) estimates from the base provider only.
+	Template string
 }
 
 // Binding resolves an alias to its TableRef, or nil.

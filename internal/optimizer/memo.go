@@ -32,6 +32,12 @@ type Memo struct {
 	connSel    [][]float64   // parallel join selectivities
 	hasAgg     bool
 
+	// StatsEpoch is the template's correction epoch captured at NewMemo.
+	// The precomputed join selectivities (and every plan the memo produces)
+	// embed that epoch's correction factors; holders compare it against
+	// Stats().Epoch(template) and rebuild the memo when it moves.
+	StatsEpoch uint64
+
 	scratch sync.Pool // *dpScratch
 }
 
@@ -119,8 +125,11 @@ func (o *Optimizer) NewMemo(q *Query) (*Memo, error) {
 		}
 	}
 	// Connectivity and join selectivities for every DP step. Join
-	// selectivities come from the static catalog (1/max distinct), so they
-	// never change between parameter instantiations.
+	// selectivities are parameter-free (1/max distinct, corrected by the
+	// site factor at the memo's stats epoch), so they never change between
+	// parameter instantiations; a correction-epoch bump invalidates the
+	// whole memo instead.
+	m.StatsEpoch = o.stats.Epoch(q.Template)
 	m.conn = make([][]Predicate, (1<<uint(n))*n)
 	m.connSel = make([][]float64, (1<<uint(n))*n)
 	for mask := 1; mask < 1<<uint(n); mask++ {
@@ -182,7 +191,7 @@ func (o *Optimizer) optimizeCore(m *Memo, params []float64) (*Plan, error) {
 	base := make([][]candidate, n)
 	for i, t := range m.q.Tables {
 		single[i] = instantiateSingle(m.singleTmpl[i], params)
-		cands, err := o.accessPaths(t, single[i])
+		cands, err := o.accessPaths(m.q.Template, t, single[i])
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,95 @@
+package optimizer
+
+import "math"
+
+// SiteObservation is an attributed cardinality observation: the base
+// (uncorrected) estimated selectivity and the observed selectivity for one
+// template predicate site. The adaptive statistics layer turns the pair
+// into a log-q-error sample for the site's correction factor.
+type SiteObservation struct {
+	Site int
+	// Est is the base provider's estimated selectivity at the executed
+	// parameter values.
+	Est float64
+	// Obs is the observed selectivity (output rows over the operator's
+	// input-size denominator).
+	Obs float64
+}
+
+// AttributeCard maps one executed operator's observed cardinality back to
+// the template predicate site that produced its estimate, when the mapping
+// is unambiguous:
+//
+//   - An index scan whose driving sargable predicate carries a site and
+//     which applies no residual filters: every output row passed exactly
+//     that predicate, so observed rows / table rows is the predicate's true
+//     selectivity.
+//   - A sequential scan applying exactly one sited filter: same reasoning.
+//   - A hash/merge join with a sited driving equi-join predicate and no
+//     extra join filters: output rows / (left input × right input) is the
+//     join's true selectivity; for an index-nested-loop join rightRows is
+//     the inner table's total row count and the inner side must apply no
+//     residual filters.
+//
+// Operators filtering through several predicates at once are skipped —
+// splitting a combined selectivity across sites would just smear the error.
+// ok is false when the node is not attributable or the observation carries
+// no information (empty input).
+func (o *Optimizer) AttributeCard(q *Query, n *Node, params []float64, rows, leftRows, rightRows, lo, hi float64) (so SiteObservation, ok bool) {
+	switch n.Op {
+	case OpSeqScan:
+		if len(n.Filters) != 1 || n.Filters[0].Site <= 0 || n.Filters[0].Kind == PredJoin {
+			return so, false
+		}
+		table := o.db.Table(n.Table)
+		if table == nil || table.NumRows() == 0 {
+			return so, false
+		}
+		p := n.Filters[0]
+		if p.Kind == PredCmpNum && p.ParamIdx >= 0 {
+			if p.ParamIdx >= len(params) {
+				return so, false
+			}
+			p.Value = params[p.ParamIdx]
+		}
+		est, err := o.BaseSelectivity(n.Table, p)
+		if err != nil {
+			return so, false
+		}
+		return SiteObservation{Site: p.Site, Est: est, Obs: rows / float64(table.NumRows())}, true
+
+	case OpIndexScan:
+		if len(n.Filters) != 0 || n.IndexSite <= 0 {
+			return so, false
+		}
+		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+			return so, false // full-range scan: no predicate to attribute
+		}
+		table := o.db.Table(n.Table)
+		if table == nil || table.NumRows() == 0 {
+			return so, false
+		}
+		est, err := o.BaseRangeSelectivity(n.Table, n.IndexCol, lo, hi)
+		if err != nil {
+			return so, false
+		}
+		return SiteObservation{Site: n.IndexSite, Est: est, Obs: rows / float64(table.NumRows())}, true
+
+	case OpHashJoin, OpMergeJoin, OpIndexNLJoin:
+		if n.JoinSite <= 0 || len(n.Filters) != 0 {
+			return so, false
+		}
+		if n.Op == OpIndexNLJoin && len(n.Right.Filters) != 0 {
+			return so, false // inner residual filters dilute the join count
+		}
+		if leftRows <= 0 || rightRows <= 0 {
+			return so, false
+		}
+		est, err := o.BaseJoinSelectivity(q, Predicate{Kind: PredJoin, Col: n.LeftCol, RightCol: n.RightCol})
+		if err != nil {
+			return so, false
+		}
+		return SiteObservation{Site: n.JoinSite, Est: est, Obs: rows / (leftRows * rightRows)}, true
+	}
+	return so, false
+}

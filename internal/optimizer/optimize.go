@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/faults"
+	"repro/internal/stats"
 	"repro/internal/tpch"
 )
 
@@ -14,23 +15,30 @@ import (
 // catalog statistics. It is deterministic: equal queries, statistics and
 // parameter values yield identical plans (including tie-breaking), which
 // the plan-space framework relies on.
+//
+// All selectivity estimation goes through the stats.Provider: the default
+// is the static base provider over the catalog, and the facade layers the
+// adaptive correction provider on top. Every estimate of a predicate that
+// carries a template site is passed through Provider.Correct, so learned
+// cardinality corrections move plan choice without touching the cost model.
 type Optimizer struct {
 	db     *tpch.Database
 	cat    *catalog.Catalog
+	stats  stats.Provider
 	model  CostModel
 	faults *faults.Injector
 }
 
 // New creates an optimizer. A nil model uses DefaultCostModel.
 func New(db *tpch.Database, cat *catalog.Catalog) *Optimizer {
-	return &Optimizer{db: db, cat: cat, model: DefaultCostModel()}
+	return &Optimizer{db: db, cat: cat, stats: stats.NewBase(cat), model: DefaultCostModel()}
 }
 
 // NewWithModel creates an optimizer with a custom cost model (used by the
 // drift experiments, which perturb the model mid-workload to shift plan
 // spaces).
 func NewWithModel(db *tpch.Database, cat *catalog.Catalog, model CostModel) *Optimizer {
-	return &Optimizer{db: db, cat: cat, model: model}
+	return &Optimizer{db: db, cat: cat, stats: stats.NewBase(cat), model: model}
 }
 
 // SetModel replaces the cost model. Subsequent optimizations see the new
@@ -42,6 +50,13 @@ func (o *Optimizer) Model() CostModel { return o.model }
 
 // Catalog returns the statistics catalog the optimizer estimates from.
 func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// SetStats replaces the selectivity provider. Set at construction time
+// (before any Memo is built); memos stamp the provider's correction epoch.
+func (o *Optimizer) SetStats(p stats.Provider) { o.stats = p }
+
+// Stats returns the selectivity provider.
+func (o *Optimizer) Stats() stats.Provider { return o.stats }
 
 // SetFaults attaches a fault injector (nil disables injection). Chaos tests
 // use it to simulate optimizer outages and latency spikes.
@@ -110,8 +125,10 @@ func connecting(joins []Predicate, aliasIdx map[string]int, mask, r int) []Predi
 	for _, j := range joins {
 		li, ri := aliasIdx[j.Col.Alias], aliasIdx[j.RightCol.Alias]
 		if li == r && mask&(1<<uint(ri)) != 0 {
-			// Flip so the left side references the existing subset.
-			out = append(out, Predicate{Kind: PredJoin, Col: j.RightCol, RightCol: j.Col, ParamIdx: -1})
+			// Flip so the left side references the existing subset. The site
+			// rides along: a join predicate's correction identity does not
+			// depend on which side ends up left.
+			out = append(out, Predicate{Kind: PredJoin, Col: j.RightCol, RightCol: j.Col, ParamIdx: -1, Site: j.Site})
 		} else if ri == r && mask&(1<<uint(li)) != 0 {
 			out = append(out, j)
 		}
@@ -120,14 +137,15 @@ func connecting(joins []Predicate, aliasIdx map[string]int, mask, r int) []Predi
 }
 
 // accessPaths builds the scan candidates for one relation with its
-// instantiated single-table predicates.
-func (o *Optimizer) accessPaths(t TableRef, preds []Predicate) ([]candidate, error) {
+// instantiated single-table predicates. tmpl keys adaptive corrections
+// (empty = base estimates only).
+func (o *Optimizer) accessPaths(tmpl string, t TableRef, preds []Predicate) ([]candidate, error) {
 	table := o.db.Table(t.Table)
 	if table == nil {
 		return nil, fmt.Errorf("optimizer: unknown table %s", t.Table)
 	}
 	baseRows := float64(table.NumRows())
-	selAll, err := o.selProduct(t.Table, preds)
+	selAll, err := o.selProduct(tmpl, t.Table, preds)
 	if err != nil {
 		return nil, err
 	}
@@ -156,18 +174,20 @@ func (o *Optimizer) accessPaths(t TableRef, preds []Predicate) ([]candidate, err
 		driving, residual := splitSargable(preds, col)
 		lo, hi := math.Inf(-1), math.Inf(1)
 		matchSel := 1.0
+		site := 0
 		if driving != nil {
 			lo, hi = sargBounds(*driving)
-			s, err := o.selectivity(t.Table, *driving)
+			s, err := o.selectivity(tmpl, t.Table, *driving)
 			if err != nil {
 				return nil, err
 			}
 			matchSel = s
+			site = driving.Site
 		}
 		matches := math.Max(baseRows*matchSel, 1e-6)
 		node := &Node{
 			Op: OpIndexScan, Table: t.Table, Alias: t.Alias, IndexCol: col,
-			IndexLo: lo, IndexHi: hi, Filters: residual,
+			IndexLo: lo, IndexHi: hi, Filters: residual, IndexSite: site,
 			EstRows:  outRows,
 			EstCost:  o.model.indexScanCost(baseRows, matches, len(residual), col == clustered),
 			SortedOn: ColRef{Alias: t.Alias, Column: col},
@@ -276,7 +296,7 @@ func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []
 			node := &Node{
 				Op: OpHashJoin, Left: left.node, Right: right.node,
 				LeftCol: driving.Col, RightCol: driving.RightCol, BuildLeft: buildLeft,
-				Filters: extraFilters,
+				Filters: extraFilters, JoinSite: driving.Site,
 				EstRows: outRows,
 				EstCost: left.cost + right.node.EstCost + o.model.hashJoinCost(build.rows, probe.rows, outRows),
 			}
@@ -298,7 +318,7 @@ func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []
 		node := &Node{
 			Op: OpMergeJoin, Left: left.node, Right: right.node,
 			LeftCol: driving.Col, RightCol: driving.RightCol,
-			Filters: extraFilters,
+			Filters: extraFilters, JoinSite: driving.Site,
 			EstRows: outRows,
 			EstCost: left.cost + right.node.EstCost + sortLeft + sortRight +
 				o.model.mergeJoinCost(left.rows, right.rows, outRows),
@@ -310,11 +330,11 @@ func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []
 	// Index nested-loop join: inner index on the join column, probed per
 	// outer row; residual inner predicates filter fetched tuples.
 	if table.HasIndex(driving.RightCol.Column) {
-		innerStats, err := o.cat.Column(tRef.Table, driving.RightCol.Column)
+		innerDistinct, err := o.stats.Distinct(tRef.Table, driving.RightCol.Column)
 		if err != nil {
 			return nil, err
 		}
-		matchesPerOuter := innerRows / math.Max(float64(innerStats.Distinct), 1)
+		matchesPerOuter := innerRows / math.Max(innerDistinct, 1)
 		inner := &Node{
 			Op: OpIndexScan, Table: tRef.Table, Alias: tRef.Alias,
 			IndexCol: driving.RightCol.Column, Filters: rightPreds,
@@ -324,7 +344,7 @@ func (o *Optimizer) joinCandidates(q *Query, left candidate, r int, rightBase []
 		node := &Node{
 			Op: OpIndexNLJoin, Left: left.node, Right: inner,
 			LeftCol: driving.Col, RightCol: driving.RightCol,
-			Filters: extraFilters,
+			Filters: extraFilters, JoinSite: driving.Site,
 			EstRows: outRows,
 			EstCost: left.cost + o.model.indexNLJoinCost(left.rows, innerRows, matchesPerOuter,
 				len(rightPreds), correlated, outRows),
@@ -345,34 +365,70 @@ func cheapest(cands []candidate) candidate {
 	return best
 }
 
-// joinSelectivity estimates the selectivity of an equi-join predicate using
-// the standard 1/max(distinct_left, distinct_right) formula.
-func (o *Optimizer) joinSelectivity(q *Query, j Predicate) (float64, error) {
+// BaseJoinSelectivity estimates the selectivity of an equi-join predicate
+// using the standard 1/max(distinct_left, distinct_right) formula, without
+// corrections — the reference the feedback loop measures observed join
+// selectivities against.
+func (o *Optimizer) BaseJoinSelectivity(q *Query, j Predicate) (float64, error) {
 	lt := q.Binding(j.Col.Alias)
 	rt := q.Binding(j.RightCol.Alias)
 	if lt == nil || rt == nil {
 		return 0, fmt.Errorf("optimizer: unbound join %s", j)
 	}
-	lc, err := o.cat.Column(lt.Table, j.Col.Column)
+	ld, err := o.stats.Distinct(lt.Table, j.Col.Column)
 	if err != nil {
 		return 0, err
 	}
-	rc, err := o.cat.Column(rt.Table, j.RightCol.Column)
+	rd, err := o.stats.Distinct(rt.Table, j.RightCol.Column)
 	if err != nil {
 		return 0, err
 	}
-	d := math.Max(float64(lc.Distinct), float64(rc.Distinct))
+	d := math.Max(ld, rd)
 	if d < 1 {
 		d = 1
 	}
 	return 1 / d, nil
 }
 
+// joinSelectivity is BaseJoinSelectivity corrected by the join predicate's
+// site factor when the query belongs to a template.
+func (o *Optimizer) joinSelectivity(q *Query, j Predicate) (float64, error) {
+	s, err := o.BaseJoinSelectivity(q, j)
+	if err != nil {
+		return 0, err
+	}
+	return o.stats.Correct(q.Template, j.Site, s), nil
+}
+
+// BaseSelectivity estimates one instantiated single-table predicate without
+// corrections — the reference estimate the feedback loop compares observed
+// cardinalities against.
+func (o *Optimizer) BaseSelectivity(table string, p Predicate) (float64, error) {
+	return o.selectivity("", table, p)
+}
+
+// BaseRangeSelectivity estimates P(lo <= col <= hi) without corrections,
+// clamping infinite bounds to the column's value range — the same clamping
+// recost applies to index scan bounds.
+func (o *Optimizer) BaseRangeSelectivity(table, col string, lo, hi float64) (float64, error) {
+	cLo, cHi, err := o.stats.Bounds(table, col)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(lo, -1) {
+		lo = cLo
+	}
+	if math.IsInf(hi, 1) {
+		hi = cHi
+	}
+	return o.stats.SelRange(table, col, lo, hi)
+}
+
 // selProduct multiplies the selectivities of single-table predicates.
-func (o *Optimizer) selProduct(table string, preds []Predicate) (float64, error) {
+func (o *Optimizer) selProduct(tmpl, table string, preds []Predicate) (float64, error) {
 	sel := 1.0
 	for _, p := range preds {
-		s, err := o.selectivity(table, p)
+		s, err := o.selectivity(tmpl, table, p)
 		if err != nil {
 			return 0, err
 		}
@@ -381,32 +437,46 @@ func (o *Optimizer) selProduct(table string, preds []Predicate) (float64, error)
 	return sel, nil
 }
 
-// selectivity estimates one instantiated single-table predicate from the
-// catalog — the same estimation the PPC framework's f functions use.
-func (o *Optimizer) selectivity(table string, p Predicate) (float64, error) {
-	cs, err := o.cat.Column(table, p.Col.Column)
-	if err != nil {
-		return 0, err
-	}
+// selectivity estimates one instantiated single-table predicate through the
+// stats provider — the same estimation the PPC framework's f functions use —
+// then applies the site's learned correction. tmpl == "" (or Site 0) keeps
+// the base estimate; the learner's SelectivityPoint deliberately passes ""
+// so plan-space geometry is not re-shaped by the corrections it feeds.
+func (o *Optimizer) selectivity(tmpl, table string, p Predicate) (float64, error) {
+	var s float64
+	var err error
 	switch p.Kind {
 	case PredCmpNum:
 		switch p.Op {
 		case OpLE, OpLT:
-			return cs.SelectivityLE(p.Value), nil
+			s, err = o.stats.SelLE(table, p.Col.Column, p.Value)
 		case OpGE, OpGT:
-			return 1 - cs.SelectivityLE(p.Value), nil
+			s, err = o.stats.SelLE(table, p.Col.Column, p.Value)
+			s = 1 - s
 		case OpEq:
-			return cs.SelectivityEq(p.Value), nil
+			s, err = o.stats.SelEq(table, p.Col.Column, p.Value)
+		default:
+			return 0, fmt.Errorf("optimizer: cannot estimate %s", p)
 		}
 	case PredCmpStr:
-		return cs.SelectivityEqString(p.StrValue), nil
+		s, err = o.stats.SelEqString(table, p.Col.Column, p.StrValue)
 	case PredBetween:
-		return cs.SelectivityRange(p.Lo, p.Hi), nil
+		s, err = o.stats.SelRange(table, p.Col.Column, p.Lo, p.Hi)
+	default:
+		return 0, fmt.Errorf("optimizer: cannot estimate %s", p)
 	}
-	return 0, fmt.Errorf("optimizer: cannot estimate %s", p)
+	if err != nil {
+		return 0, err
+	}
+	if tmpl == "" {
+		return s, nil
+	}
+	return o.stats.Correct(tmpl, p.Site, s), nil
 }
 
 // groupEstimate estimates the number of output groups of the aggregation.
+// Group counts stay uncorrected: corrections model predicate selectivity
+// error, not grouping-key cardinality.
 func (o *Optimizer) groupEstimate(q *Query, inputRows float64) float64 {
 	if len(q.GroupBy) == 0 {
 		return 1
@@ -417,8 +487,8 @@ func (o *Optimizer) groupEstimate(q *Query, inputRows float64) float64 {
 		if t == nil {
 			continue
 		}
-		if cs, err := o.cat.Column(t.Table, g.Column); err == nil {
-			groups *= math.Max(float64(cs.Distinct), 1)
+		if d, err := o.stats.Distinct(t.Table, g.Column); err == nil {
+			groups *= math.Max(d, 1)
 		}
 	}
 	return math.Max(math.Min(groups, inputRows), 1)

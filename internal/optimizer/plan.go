@@ -78,6 +78,15 @@ type Node struct {
 	// SortedOn tracks the column the node's output is ordered by (from an
 	// index scan or merge join), enabling sort-free merge joins upstream.
 	SortedOn ColRef
+
+	// Plan lineage back to template predicate sites, for mapping observed
+	// operator cardinalities to the estimates that produced them. IndexSite
+	// is the site of the driving sargable predicate of an index scan;
+	// JoinSite is the site of the driving equi-join predicate of a join.
+	// 0 means no attributable site. Excluded from fingerprints: lineage
+	// annotates a plan, it does not distinguish plans.
+	IndexSite int
+	JoinSite  int
 }
 
 // Plan is a complete physical plan for one query instance.

@@ -115,7 +115,7 @@ func (o *Optimizer) recostScan(n *Node, q *Query) (float64, float64, error) {
 		return 0, 0, fmt.Errorf("optimizer: unknown table %s", n.Table)
 	}
 	baseRows := float64(table.NumRows())
-	selResidual, err := o.selProduct(n.Table, n.Filters)
+	selResidual, err := o.selProduct(q.Template, n.Table, n.Filters)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -124,21 +124,13 @@ func (o *Optimizer) recostScan(n *Node, q *Query) (float64, float64, error) {
 		n.EstRows = math.Max(baseRows*selResidual, 1e-6)
 		n.EstCost = o.model.seqScanCost(baseRows, len(n.Filters))
 	case OpIndexScan:
-		cs, err := o.cat.Column(n.Table, n.IndexCol)
-		if err != nil {
-			return 0, 0, err
-		}
 		matchSel := 1.0
 		if !math.IsInf(n.IndexLo, -1) || !math.IsInf(n.IndexHi, 1) {
-			lo := n.IndexLo
-			hi := n.IndexHi
-			if math.IsInf(lo, -1) {
-				lo = cs.Min
+			s, err := o.BaseRangeSelectivity(n.Table, n.IndexCol, n.IndexLo, n.IndexHi)
+			if err != nil {
+				return 0, 0, err
 			}
-			if math.IsInf(hi, 1) {
-				hi = cs.Max
-			}
-			matchSel = cs.SelectivityRange(lo, hi)
+			matchSel = o.stats.Correct(q.Template, n.IndexSite, s)
 		}
 		matches := math.Max(baseRows*matchSel, 1e-6)
 		n.EstRows = math.Max(matches*selResidual, 1e-6)
@@ -168,19 +160,19 @@ func (o *Optimizer) recostJoin(n *Node, q *Query) (float64, float64, error) {
 			return 0, 0, fmt.Errorf("optimizer: unknown table %s", inner.Table)
 		}
 		innerRows := float64(table.NumRows())
-		innerStats, err := o.cat.Column(inner.Table, inner.IndexCol)
+		innerDistinct, err := o.stats.Distinct(inner.Table, inner.IndexCol)
 		if err != nil {
 			return 0, 0, err
 		}
-		innerSel, err := o.selProduct(inner.Table, inner.Filters)
+		innerSel, err := o.selProduct(q.Template, inner.Table, inner.Filters)
 		if err != nil {
 			return 0, 0, err
 		}
-		joinSel, err := o.joinSelectivity(q, Predicate{Kind: PredJoin, Col: n.LeftCol, RightCol: n.RightCol})
+		joinSel, err := o.joinSelectivity(q, Predicate{Kind: PredJoin, Col: n.LeftCol, RightCol: n.RightCol, Site: n.JoinSite})
 		if err != nil {
 			return 0, 0, err
 		}
-		matchesPerOuter := innerRows / math.Max(float64(innerStats.Distinct), 1)
+		matchesPerOuter := innerRows / math.Max(innerDistinct, 1)
 		outRows := math.Max(leftRows*(innerRows*innerSel)*joinSel, 1e-6)
 		inner.EstRows = matchesPerOuter
 		correlated := inner.IndexCol == clusteredColumn(table)
@@ -195,7 +187,7 @@ func (o *Optimizer) recostJoin(n *Node, q *Query) (float64, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	joinSel, err := o.joinSelectivity(q, Predicate{Kind: PredJoin, Col: n.LeftCol, RightCol: n.RightCol})
+	joinSel, err := o.joinSelectivity(q, Predicate{Kind: PredJoin, Col: n.LeftCol, RightCol: n.RightCol, Site: n.JoinSite})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -18,10 +18,16 @@ type Template struct {
 	params []int
 }
 
-// NewTemplate wraps a validated query as a template.
+// NewTemplate wraps a validated query as a template. It stamps the query
+// with the template name and each predicate with its 1-based site — the
+// stable identities the adaptive statistics layer keys corrections on.
 func NewTemplate(name, sql string, q *Query) (*Template, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
+	}
+	q.Template = name
+	for i := range q.Preds {
+		q.Preds[i].Site = i + 1
 	}
 	t := &Template{Name: name, SQL: sql, Query: q}
 	t.params = make([]int, q.ParamDegree())
@@ -67,7 +73,12 @@ func (t *Template) Instantiate(values []float64) (Instance, error) {
 // SelectivityPoint is the normalization function f of Section II-A: it maps
 // an instance's parameter values to the selectivities of the parameterized
 // predicates — computed from the catalog exactly as the optimizer estimates
-// them — yielding the instance's plan space point in [0,1]^r.
+// them — yielding the instance's plan space point in [0,1]^r. It passes an
+// empty template name to selectivity on purpose: points stay on UNcorrected
+// base estimates so the learner's plan-space geometry (and every cached
+// cluster model) does not churn each time a correction factor moves. The
+// corrections shift which plan the optimizer assigns to a point, never
+// where the point lies.
 func (o *Optimizer) SelectivityPoint(inst Instance) ([]float64, error) {
 	t := inst.Template
 	if len(inst.Values) != t.Degree() {
@@ -81,7 +92,7 @@ func (o *Optimizer) SelectivityPoint(inst Instance) ([]float64, error) {
 		if tr == nil {
 			return nil, fmt.Errorf("optimizer: unbound alias %s", pred.Col.Alias)
 		}
-		s, err := o.selectivity(tr.Table, pred)
+		s, err := o.selectivity("", tr.Table, pred)
 		if err != nil {
 			return nil, err
 		}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netproto"
 	"repro/internal/obsv"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -170,7 +171,23 @@ func (s *State) ApplyRecords(recs []wal.Record) (applied, skipped int) {
 		return 0, 0
 	}
 	byTemplate := make(map[string][]core.Feedback)
+	corrByTemplate := make(map[string][]stats.CorrRecord)
 	for _, r := range recs {
+		if r.Kind == wal.RecordCorrection {
+			// Correction records replay into the template's shipped
+			// correction state (absolute post-update values, so the replay
+			// is idempotent). A learner shipped without a correction
+			// section (leader running without adaptive stats) skips them.
+			corrByTemplate[r.Template] = append(corrByTemplate[r.Template], stats.CorrRecord{
+				Seq:   r.Seq,
+				Epoch: r.CorrEpoch,
+				Site:  int(r.Site),
+				LogC:  r.LogC,
+				N:     r.N,
+				Ref:   r.Ref,
+			})
+			continue
+		}
 		byTemplate[r.Template] = append(byTemplate[r.Template], core.Feedback{
 			Point:       r.Point,
 			Plan:        int(r.Plan),
@@ -192,12 +209,39 @@ func (s *State) ApplyRecords(recs []wal.Record) (applied, skipped int) {
 		applied += a
 		skipped += sk + stale
 	}
+	for name, batch := range corrByTemplate {
+		o := s.templates[name]
+		if o == nil || o.Corrections() == nil {
+			skipped += len(batch)
+			continue
+		}
+		corr := o.Corrections()
+		for _, rec := range batch {
+			if corr.Replay(rec) {
+				applied++
+			} else {
+				skipped++
+			}
+		}
+	}
 	if last := recs[len(recs)-1].Seq; last > s.receivedSeq {
 		s.receivedSeq = last
 	}
 	s.obs.CountRecordsApplied(applied)
 	s.obs.SetAppliedSeq(s.receivedSeq)
 	return applied, skipped
+}
+
+// CorrectionState returns the correction state shipped for one template —
+// nil when the template is absent or its learner was shipped without a
+// corrections section. Parity audits compare it against the leader's.
+func (s *State) CorrectionState(template string) *stats.Corrections {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if o := s.templates[template]; o != nil {
+		return o.Corrections()
+	}
+	return nil
 }
 
 // PredictRPC serves one wire predict request from the installed state:

@@ -1,0 +1,198 @@
+// Package stats is the optimizer's statistics layer: a Provider interface
+// that answers the selectivity questions the cost model asks, layered so
+// the answers can be corrected from observed execution.
+//
+// The base provider wraps the catalog's static histograms — exactly the
+// estimates the optimizer used before this layer existed. On top of it the
+// Adaptive provider maintains per-(template, predicate-site) multiplicative
+// correction factors learned from true operator cardinalities (Ivanov &
+// Bartunov's adaptive cardinality estimation, specialized to the template
+// world: a predicate site inside a template IS a query class). The
+// optimizer asks Correct(template, site, sel) after every base estimate; a
+// site with no evidence passes through unchanged, so a cold system is
+// bit-identical to the static one.
+//
+// Lock-hierarchy position (DESIGN.md §9/§14): Correction state is a leaf.
+// The read path (Factor/Correct/Epoch) is lock-free atomics plus a
+// copy-on-write template map; the write path (Apply/Replay) serializes on a
+// per-template mutex that calls nothing but the WAL logger, which sits
+// below every learner lock.
+package stats
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+)
+
+// Provider answers the optimizer's selectivity and statistics questions.
+// The four Sel* calls and Distinct are the estimation choke points that
+// used to be direct catalog calls; Bounds feeds recost's infinite-bound
+// clamping. Correct applies the adaptive layer's learned factor for one
+// predicate site (identity on the base provider), and Epoch is the
+// template's correction epoch — memo caches stamp it at build time and
+// re-derive when it moves.
+type Provider interface {
+	// SelLE estimates P(col <= v) on table.
+	SelLE(table, col string, v float64) (float64, error)
+	// SelEq estimates P(col = v) on table.
+	SelEq(table, col string, v float64) (float64, error)
+	// SelEqString estimates P(col = v) for a string column.
+	SelEqString(table, col, v string) (float64, error)
+	// SelRange estimates P(lo <= col <= hi).
+	SelRange(table, col string, lo, hi float64) (float64, error)
+	// Distinct returns the column's distinct-value count (join selectivity
+	// denominator).
+	Distinct(table, col string) (float64, error)
+	// Bounds returns the column's value range.
+	Bounds(table, col string) (lo, hi float64, err error)
+	// Correct applies the learned correction for a template's predicate
+	// site to a base selectivity estimate. site <= 0 or an unknown template
+	// is the identity.
+	Correct(template string, site int, sel float64) float64
+	// Epoch returns the template's correction epoch (0 = no corrections).
+	Epoch(template string) uint64
+}
+
+// Base is the static provider over the catalog's histograms: the estimates
+// the optimizer has always used, with the identity correction.
+type Base struct {
+	cat *catalog.Catalog
+}
+
+// NewBase wraps a built catalog.
+func NewBase(cat *catalog.Catalog) *Base { return &Base{cat: cat} }
+
+func (b *Base) SelLE(table, col string, v float64) (float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, err
+	}
+	return cs.SelectivityLE(v), nil
+}
+
+func (b *Base) SelEq(table, col string, v float64) (float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, err
+	}
+	return cs.SelectivityEq(v), nil
+}
+
+func (b *Base) SelEqString(table, col, v string) (float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, err
+	}
+	return cs.SelectivityEqString(v), nil
+}
+
+func (b *Base) SelRange(table, col string, lo, hi float64) (float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, err
+	}
+	return cs.SelectivityRange(lo, hi), nil
+}
+
+func (b *Base) Distinct(table, col string) (float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cs.Distinct), nil
+}
+
+func (b *Base) Bounds(table, col string) (float64, float64, error) {
+	cs, err := b.cat.Column(table, col)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cs.Min, cs.Max, nil
+}
+
+// Correct on the base provider is the identity: no adaptive layer.
+func (b *Base) Correct(_ string, _ int, sel float64) float64 { return sel }
+
+// Epoch on the base provider is always 0.
+func (b *Base) Epoch(string) uint64 { return 0 }
+
+// Distorted wraps a provider and perturbs its selectivity answers — the
+// controlled way to make base estimates diverge from execution truth, for
+// experiments and for the adaptive layer's tests. Sel, when set, rewrites
+// every Sel* answer; DistinctFn rewrites Distinct (join selectivities).
+// Correct and Epoch pass through untouched.
+type Distorted struct {
+	Provider
+	// Sel rewrites a base selectivity estimate for (table, col).
+	Sel func(table, col string, sel float64) float64
+	// DistinctFn rewrites the distinct-count estimate for (table, col).
+	DistinctFn func(table, col string, d float64) float64
+}
+
+func (d *Distorted) distort(table, col string, sel float64, err error) (float64, error) {
+	if err != nil || d.Sel == nil {
+		return sel, err
+	}
+	return clamp01(d.Sel(table, col, sel)), nil
+}
+
+func (d *Distorted) SelLE(table, col string, v float64) (float64, error) {
+	s, err := d.Provider.SelLE(table, col, v)
+	return d.distort(table, col, s, err)
+}
+
+func (d *Distorted) SelEq(table, col string, v float64) (float64, error) {
+	s, err := d.Provider.SelEq(table, col, v)
+	return d.distort(table, col, s, err)
+}
+
+func (d *Distorted) SelEqString(table, col, v string) (float64, error) {
+	s, err := d.Provider.SelEqString(table, col, v)
+	return d.distort(table, col, s, err)
+}
+
+func (d *Distorted) SelRange(table, col string, lo, hi float64) (float64, error) {
+	s, err := d.Provider.SelRange(table, col, lo, hi)
+	return d.distort(table, col, s, err)
+}
+
+func (d *Distorted) Distinct(table, col string) (float64, error) {
+	n, err := d.Provider.Distinct(table, col)
+	if err != nil || d.DistinctFn == nil {
+		return n, err
+	}
+	n = d.DistinctFn(table, col, n)
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+func clamp01(s float64) float64 {
+	if s < 0 || math.IsNaN(s) {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// LogQ is the signed log q-error of one observation: ln(observed/estimated)
+// with both sides floored so empty operators stay finite. Positive means
+// the estimate was too low.
+func LogQ(estimated, observed float64) float64 {
+	const floor = 1e-9
+	return math.Log(math.Max(observed, floor) / math.Max(estimated, floor))
+}
+
+// QError is the symmetric q-error max(e/o, o/e) >= 1 of one observation.
+func QError(estimated, observed float64) float64 {
+	const floor = 1e-9
+	e, o := math.Max(estimated, floor), math.Max(observed, floor)
+	if e > o {
+		return e / o
+	}
+	return o / e
+}

@@ -26,8 +26,12 @@
 //
 //	segment: "PPCWAL\x00" u16 version | record*
 //	record:  u32 payloadLen | u32 crc32c(payload) | payload
-//	payload: u8 kind | u64 seq | i64 epoch | u16 len(template) template |
+//	payload (kind 1, feedback):
+//	         u8 kind | u64 seq | i64 epoch | u16 len(template) template |
 //	         i64 plan | f64 cost | u8 selfLabeled | u16 dims | f64*dims
+//	payload (kind 2, correction):
+//	         u8 kind | u64 seq | u64 corrEpoch | u16 len(template) template |
+//	         u32 site | f64 logc | u64 n | f64 ref
 //
 // Sequence numbers are global, monotonically increasing, and never reused;
 // segment file names carry the first sequence number the segment may
@@ -67,6 +71,9 @@ const (
 	// minPayload is the smallest well-formed feedback payload: kind, seq,
 	// epoch, empty template, plan, cost, selfLabeled flag, zero dims.
 	minPayload = 1 + 8 + 8 + 2 + 8 + 8 + 1 + 2
+	// corrPayloadFixed is a correction payload's size net of the template
+	// name: kind, seq, corrEpoch, name length, site, logc, n, ref.
+	corrPayloadFixed = 1 + 8 + 8 + 2 + 4 + 8 + 8 + 8
 
 	// DefaultSegmentBytes rotates segments at 4 MiB.
 	DefaultSegmentBytes = 4 << 20
@@ -78,15 +85,28 @@ const (
 // snapshot envelopes in persist.go and internal/core).
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// RecordFeedback is the only record kind today; the kind byte exists so
-// future record types (e.g. logged drift resets) can share the framing.
-const RecordFeedback uint8 = 1
+// Record kinds. The kind byte is first in every payload so the framing is
+// shared; unknown kinds stop a scan (they cannot be skipped trustably).
+const (
+	// RecordFeedback is one labeled plan space point for a learner.
+	RecordFeedback uint8 = 1
+	// RecordCorrection is one adaptive-statistics correction site update:
+	// the absolute post-update EWMA state, so replay is idempotent.
+	RecordCorrection uint8 = 2
+)
 
-// Record is one durable feedback point. Seq is assigned by Append; Epoch is
-// the learner's drift-reset epoch at the point's creation, which makes
-// replay reproduce reset semantics (a stale point is dropped, a point from
-// a newer epoch implies the resets between).
+// Record is one durable log record. Kind selects which fields are live; a
+// zero Kind encodes as RecordFeedback, so pre-correction callers that never
+// set it are unchanged. Seq is assigned by Append.
+//
+// Feedback fields: Epoch is the learner's drift-reset epoch at the point's
+// creation, which makes replay reproduce reset semantics (a stale point is
+// dropped, a point from a newer epoch implies the resets between).
+//
+// Correction fields: CorrEpoch is the template's correction epoch after the
+// update; Site/LogC/N/Ref are the site's absolute post-update state.
 type Record struct {
+	Kind        uint8
 	Seq         uint64
 	Epoch       int64
 	Template    string
@@ -94,6 +114,12 @@ type Record struct {
 	Cost        float64
 	SelfLabeled bool
 	Point       []float64
+
+	CorrEpoch uint64
+	Site      uint32
+	LogC      float64
+	N         uint64
+	Ref       float64
 }
 
 // SyncPolicy selects when Commit calls fsync. The zero value is SyncAlways:
@@ -424,11 +450,15 @@ func decodeFrame(buf []byte) (Record, int, string) {
 // decodePayload decodes the checksummed record body.
 func decodePayload(p []byte) (Record, string) {
 	le := binary.LittleEndian
-	if p[0] != RecordFeedback {
+	switch p[0] {
+	case RecordFeedback:
+	case RecordCorrection:
+		return decodeCorrection(p)
+	default:
 		return Record{}, fmt.Sprintf("unknown record kind %d", p[0])
 	}
 	off := 1
-	rec := Record{}
+	rec := Record{Kind: RecordFeedback}
 	rec.Seq = le.Uint64(p[off:])
 	off += 8
 	rec.Epoch = int64(le.Uint64(p[off:]))
@@ -460,9 +490,41 @@ func decodePayload(p []byte) (Record, string) {
 	return rec, ""
 }
 
+// decodeCorrection decodes a kind-2 correction payload.
+func decodeCorrection(p []byte) (Record, string) {
+	le := binary.LittleEndian
+	rec := Record{Kind: RecordCorrection}
+	if len(p) < corrPayloadFixed {
+		return Record{}, "correction record too short"
+	}
+	off := 1
+	rec.Seq = le.Uint64(p[off:])
+	off += 8
+	rec.CorrEpoch = le.Uint64(p[off:])
+	off += 8
+	tl := int(le.Uint16(p[off:]))
+	off += 2
+	if off+tl+4+8+8+8 != len(p) {
+		return Record{}, "correction record payload length disagrees with its template name"
+	}
+	rec.Template = string(p[off : off+tl])
+	off += tl
+	rec.Site = le.Uint32(p[off:])
+	off += 4
+	rec.LogC = math.Float64frombits(le.Uint64(p[off:]))
+	off += 8
+	rec.N = le.Uint64(p[off:])
+	off += 8
+	rec.Ref = math.Float64frombits(le.Uint64(p[off:]))
+	return rec, ""
+}
+
 // encodeFrame encodes rec's framed bytes into buf (reusing its capacity)
 // and returns the frame.
 func encodeFrame(buf []byte, rec *Record) []byte {
+	if rec.Kind == RecordCorrection {
+		return encodeCorrectionFrame(buf, rec)
+	}
 	le := binary.LittleEndian
 	payLen := minPayload + len(rec.Template) + 8*len(rec.Point)
 	need := frameOverhead + payLen
@@ -498,6 +560,38 @@ func encodeFrame(buf []byte, rec *Record) []byte {
 		le.PutUint64(p[off:], math.Float64bits(v))
 		off += 8
 	}
+	le.PutUint32(frame[4:8], crc32.Checksum(p, walCRC))
+	return frame
+}
+
+// encodeCorrectionFrame encodes a kind-2 correction record.
+func encodeCorrectionFrame(buf []byte, rec *Record) []byte {
+	le := binary.LittleEndian
+	payLen := corrPayloadFixed + len(rec.Template)
+	need := frameOverhead + payLen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	frame := buf[:need]
+	le.PutUint32(frame[0:4], uint32(payLen))
+	p := frame[frameOverhead:]
+	p[0] = RecordCorrection
+	off := 1
+	le.PutUint64(p[off:], rec.Seq)
+	off += 8
+	le.PutUint64(p[off:], rec.CorrEpoch)
+	off += 8
+	le.PutUint16(p[off:], uint16(len(rec.Template)))
+	off += 2
+	copy(p[off:], rec.Template)
+	off += len(rec.Template)
+	le.PutUint32(p[off:], rec.Site)
+	off += 4
+	le.PutUint64(p[off:], math.Float64bits(rec.LogC))
+	off += 8
+	le.PutUint64(p[off:], rec.N)
+	off += 8
+	le.PutUint64(p[off:], math.Float64bits(rec.Ref))
 	le.PutUint32(frame[4:8], crc32.Checksum(p, walCRC))
 	return frame
 }

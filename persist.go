@@ -364,6 +364,11 @@ func (s *System) recreateLearnerLocked(name string) error {
 	sql := tmpl.SQL
 	st.shutdown()
 	delete(s.templates, name)
+	// Cold means cold: a half-restored correction state is dropped with the
+	// learner (re-registration creates a fresh one).
+	if s.stats != nil {
+		s.stats.Drop(name)
+	}
 	return s.registerLocked(name, sql)
 }
 

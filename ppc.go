@@ -42,6 +42,7 @@ import (
 	"repro/internal/plancache"
 	"repro/internal/queries"
 	"repro/internal/sqlparse"
+	"repro/internal/stats"
 	"repro/internal/tpch"
 	"repro/internal/wal"
 )
@@ -101,6 +102,16 @@ type Options struct {
 	// tail, and every applied feedback point is logged before it enters the
 	// synopsis. See the Durability type for the recovery contract.
 	Durability Durability
+	// DisableAdaptiveStats turns the adaptive statistics layer off: the
+	// optimizer estimates selectivities from catalog histograms alone, with
+	// no per-site correction factors learned from executed cardinalities.
+	// On by default (DESIGN.md "Adaptive statistics").
+	DisableAdaptiveStats bool
+	// StatsWrap, when non-nil, wraps the base statistics provider before
+	// the adaptive correction layer is stacked on top. Experiments and
+	// tests use it to inject base-estimate error (stats.Distorted) and
+	// watch the corrections repair it; production systems leave it nil.
+	StatsWrap func(stats.Provider) stats.Provider
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +173,12 @@ type System struct {
 	exec *executor.Executor
 	reg  *optimizer.Registry
 
+	// stats is the adaptive statistics layer the optimizer estimates
+	// through: per-(template, predicate-site) correction factors learned
+	// from executed cardinalities, over the catalog's base histograms.
+	// nil when Options.DisableAdaptiveStats is set.
+	stats *stats.Adaptive
+
 	// regMu guards the templates map. Per-template state has its own lock.
 	regMu     sync.RWMutex
 	templates map[string]*templateState
@@ -190,6 +207,9 @@ type System struct {
 	wal        *wal.Log
 	walObs     *obsv.WALObs
 	walPending map[string][]core.Feedback
+	// corrPending holds recovered correction records for templates the
+	// checkpoint did not contain, symmetric with walPending.
+	corrPending map[string][]stats.CorrRecord
 	// checkpointStop/Done bracket the background checkpointer goroutine.
 	checkpointStop chan struct{}
 	checkpointDone chan struct{}
@@ -239,10 +259,19 @@ type templateState struct {
 	tmpl *optimizer.Template
 
 	// memo is the template's optimization memo: the parameter-independent
-	// part of plan enumeration, computed once at registration and shared by
-	// every optimizer invocation for this template (immutable apart from
-	// its internal scratch pool, which is concurrency-safe).
-	memo *optimizer.Memo
+	// part of plan enumeration, computed at registration and shared by
+	// every optimizer invocation for this template (each memo is immutable
+	// apart from its internal scratch pool, which is concurrency-safe).
+	// The pointer is atomic because the memo embeds correction factors in
+	// its join selectivities: when the adaptive statistics epoch moves past
+	// the one the memo captured, memoFor swaps in a rebuilt memo.
+	memo atomic.Pointer[optimizer.Memo]
+
+	// corr is the template's adaptive correction state (nil when the layer
+	// is disabled); corrLog is its WAL sink (nil without durability). Both
+	// are immutable after registration.
+	corr    *stats.Corrections
+	corrLog *walSink
 
 	online *core.Online
 	env    *planEnv
@@ -273,12 +302,31 @@ type templateState struct {
 	obs *obsv.TemplateObs
 }
 
-// feedbackMsg is one mailbox message: a feedback point, or (when flush is
+// feedbackMsg is one mailbox message: a feedback point, a run's attributed
+// cardinality observations (when cards is non-nil), or (when flush is
 // non-nil) a flush token the applier closes once everything queued before
 // it has been applied.
 type feedbackMsg struct {
 	fb    core.Feedback
+	cards *cardBuf
 	flush chan struct{}
+}
+
+// cardBuf is a pooled pair of scratch slices for one run's cardinality
+// harvest: the raw per-operator observations and the site-attributed
+// log-q-error samples distilled from them. Pooling keeps the observed
+// execution path allocation-free in steady state.
+type cardBuf struct {
+	cards []executor.CardObservation
+	obs   []stats.Obs
+}
+
+var cardBufPool = sync.Pool{New: func() any { return &cardBuf{} }}
+
+func releaseCards(buf *cardBuf) {
+	buf.cards = buf.cards[:0]
+	buf.obs = buf.obs[:0]
+	cardBufPool.Put(buf)
 }
 
 // Deliver implements core.FeedbackSink: hand the point to the background
@@ -310,13 +358,14 @@ func (st *templateState) applyLoop() {
 	defer close(st.applyDone)
 	batch := make([]core.Feedback, 0, applyBatchMax)
 	flushes := make([]chan struct{}, 0, 4)
+	cards := make([]*cardBuf, 0, 8)
 	for {
 		select {
 		case msg := <-st.mail:
-			batch, flushes = st.collect(msg, batch[:0], flushes[:0])
-			st.applyBatch(batch, flushes)
+			batch, flushes, cards = st.collect(msg, batch[:0], flushes[:0], cards[:0])
+			st.applyBatch(batch, flushes, cards)
 		case <-st.stop:
-			st.drainMailbox(batch[:0], flushes[:0])
+			st.drainMailbox(batch[:0], flushes[:0], cards[:0])
 			return
 		}
 	}
@@ -324,36 +373,64 @@ func (st *templateState) applyLoop() {
 
 // collect gathers one batch: the triggering message plus whatever else is
 // immediately available, up to applyBatchMax points.
-func (st *templateState) collect(msg feedbackMsg, batch []core.Feedback, flushes []chan struct{}) ([]core.Feedback, []chan struct{}) {
+func (st *templateState) collect(msg feedbackMsg, batch []core.Feedback, flushes []chan struct{}, cards []*cardBuf) ([]core.Feedback, []chan struct{}, []*cardBuf) {
 	for {
-		if msg.flush != nil {
+		switch {
+		case msg.flush != nil:
 			flushes = append(flushes, msg.flush)
-		} else {
+		case msg.cards != nil:
+			cards = append(cards, msg.cards)
+		default:
 			batch = append(batch, msg.fb)
 		}
 		if len(batch) >= applyBatchMax {
-			return batch, flushes
+			return batch, flushes, cards
 		}
 		select {
 		case msg = <-st.mail:
 		default:
-			return batch, flushes
+			return batch, flushes, cards
 		}
 	}
 }
 
-// applyBatch applies the batch (one snapshot publication) and then releases
-// the flush tokens — the mailbox is FIFO, so a token completes only after
-// every point enqueued before it is in the synopsis.
-func (st *templateState) applyBatch(batch []core.Feedback, flushes []chan struct{}) {
+// applyBatch applies the batch (one snapshot publication) and the queued
+// cardinality observations, then releases the flush tokens — the mailbox
+// is FIFO, so a token completes only after every point enqueued before it
+// is in the synopsis.
+func (st *templateState) applyBatch(batch []core.Feedback, flushes []chan struct{}, cards []*cardBuf) {
 	if len(batch) > 0 {
 		t0 := time.Now()
 		applied, dropped := st.online.ApplyBatch(batch)
 		st.obs.RecordApply(time.Since(t0), applied, dropped)
 	}
+	for _, buf := range cards {
+		st.applyCards(buf)
+	}
 	for _, f := range flushes {
 		close(f)
 	}
+}
+
+// applyCards folds one run's attributed observations into the template's
+// correction state (logging each touched site's post-update state to the
+// WAL before the factors publish) and returns the buffer to the pool. An
+// epoch bump needs no eager notification: memoFor observes it lazily on
+// the next optimizer invocation.
+func (st *templateState) applyCards(buf *cardBuf) {
+	if st.corr != nil && len(buf.obs) > 0 {
+		var lg stats.CorrLogger
+		if st.corrLog != nil {
+			lg = st.corrLog
+		}
+		st.corr.Apply(buf.obs, lg)
+		if st.corrLog != nil {
+			// Group-commit the correction records; an fsync error is counted
+			// by the log's own observer and retried with the next batch.
+			st.corrLog.Commit() //nolint:errcheck
+		}
+	}
+	releaseCards(buf)
 }
 
 // drainMailbox empties the mailbox without blocking and applies what it
@@ -361,20 +438,41 @@ func (st *templateState) applyBatch(batch []core.Feedback, flushes []chan struct
 // once the applier is gone (concurrent inline drains are safe — ApplyBatch
 // serializes on the learner lock and competing receives just split the
 // backlog).
-func (st *templateState) drainMailbox(batch []core.Feedback, flushes []chan struct{}) {
+func (st *templateState) drainMailbox(batch []core.Feedback, flushes []chan struct{}, cards []*cardBuf) {
 	for {
 		select {
 		case msg := <-st.mail:
-			if msg.flush != nil {
+			switch {
+			case msg.flush != nil:
 				flushes = append(flushes, msg.flush)
-			} else {
+			case msg.cards != nil:
+				cards = append(cards, msg.cards)
+			default:
 				batch = append(batch, msg.fb)
 			}
 		default:
-			st.applyBatch(batch, flushes)
+			st.applyBatch(batch, flushes, cards)
 			return
 		}
 	}
+}
+
+// deliverCards hands one run's attributed observations to the background
+// applier, falling back — like Deliver — to a synchronous apply when the
+// mailbox is full, closed or absent.
+func (st *templateState) deliverCards(buf *cardBuf) {
+	if len(buf.obs) == 0 {
+		releaseCards(buf)
+		return
+	}
+	if st.mail != nil && !st.closed.Load() {
+		select {
+		case st.mail <- feedbackMsg{cards: buf}:
+			return
+		default:
+		}
+	}
+	st.applyCards(buf)
 }
 
 // flush blocks until every feedback point enqueued before the call has been
@@ -390,7 +488,7 @@ func (st *templateState) flush() {
 	select {
 	case st.mail <- feedbackMsg{flush: done}:
 	case <-st.applyDone:
-		st.drainMailbox(nil, nil)
+		st.drainMailbox(nil, nil, nil)
 		return
 	}
 	select {
@@ -400,7 +498,7 @@ func (st *templateState) flush() {
 		// drain may or may not have seen the token — drain inline either
 		// way (closing an already-closed token cannot happen: exactly one
 		// drain receives it from the FIFO mailbox).
-		st.drainMailbox(nil, nil)
+		st.drainMailbox(nil, nil, nil)
 	}
 }
 
@@ -414,7 +512,7 @@ func (st *templateState) shutdown() {
 	st.closeOnce.Do(func() { close(st.stop) })
 	<-st.applyDone
 	// Recover any message that raced past the closed flag.
-	st.drainMailbox(nil, nil)
+	st.drainMailbox(nil, nil, nil)
 }
 
 // Open generates the database, builds statistics, and initializes the
@@ -443,6 +541,20 @@ func Open(opts Options) (*System, error) {
 	s.cacheObs = s.obs.Cache()
 	s.opt.SetFaults(opts.Faults)
 	s.exec.SetFaults(opts.Faults)
+	// Stack the statistics layers under the optimizer: catalog histograms,
+	// an optional experiment wrapper, and (unless disabled) the adaptive
+	// correction layer. Installed before any template registers, so every
+	// memo is built through the final provider.
+	var provider stats.Provider = stats.NewBase(cat)
+	if opts.StatsWrap != nil {
+		provider = opts.StatsWrap(provider)
+	}
+	if opts.DisableAdaptiveStats {
+		s.opt.SetStats(provider)
+	} else {
+		s.stats = stats.NewAdaptive(provider, stats.CorrConfig{})
+		s.opt.SetStats(s.stats)
+	}
 	cache, err := plancache.New(opts.CacheCapacity, s.planPrecision)
 	if err != nil {
 		return nil, err
@@ -513,14 +625,27 @@ func (s *System) registerLocked(name, sql string) error {
 		return err
 	}
 	online.SetFaults(s.opts.Faults)
+	st := &templateState{tmpl: tmpl, online: online, env: env, obs: s.obs.Template(name)}
+	if s.stats != nil {
+		// One correction site per WHERE predicate (1-based, as stamped by
+		// NewTemplate). Attached to the learner before any state decode so
+		// checkpoint restores flow into it.
+		st.corr = s.stats.Register(name, len(tmpl.Query.Preds))
+		online.AttachCorrections(st.corr)
+	}
 	if s.wal != nil {
-		online.SetWAL(&walSink{log: s.wal, template: name})
+		ws := &walSink{log: s.wal, template: name}
+		online.SetWAL(ws)
+		st.corrLog = ws
 	}
 	memo, err := s.opt.NewMemo(tmpl.Query)
 	if err != nil {
+		if s.stats != nil {
+			s.stats.Drop(name)
+		}
 		return err
 	}
-	st := &templateState{tmpl: tmpl, memo: memo, online: online, env: env, obs: s.obs.Template(name)}
+	st.memo.Store(memo)
 	env.st = st
 	if !s.opts.DisableBreaker {
 		st.breaker = metrics.NewBreaker(s.opts.Breaker)
@@ -722,8 +847,11 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 		var xerr error
 		if prog != nil {
 			// Compiled path: batched columnar execution over pooled arenas,
-			// bit-identical to the tree-walking engine's output.
-			out, xerr = prog.Exec(values)
+			// bit-identical to the tree-walking engine's output. Every
+			// compiled run also harvests true per-operator cardinalities —
+			// for the estimation q-error histogram always, and for the
+			// correction learner when the adaptive layer is on.
+			out, xerr = s.execObserved(st, prog, values)
 		} else {
 			out, xerr = s.exec.Run(bound)
 		}
@@ -735,6 +863,48 @@ func (s *System) Run(template string, values []float64) (res *RunResult, err err
 	}
 	s.observeRun(st, res)
 	return res, nil
+}
+
+// execObserved executes the compiled plan while harvesting per-operator
+// observed cardinalities, attributes each unambiguous one to its template
+// predicate site, records the estimation q-errors, and queues the
+// attributed log-q-error samples to the template's background applier. The
+// serving-goroutine cost is O(plan nodes) — vector-length reads plus a few
+// histogram probes for the base estimates; the EWMA updates and WAL appends
+// run on the applier.
+func (s *System) execObserved(st *templateState, prog *executor.CompiledPlan, values []float64) (*executor.Result, error) {
+	buf := cardBufPool.Get().(*cardBuf)
+	out, cards, err := prog.ExecObserve(values, buf.cards[:0])
+	buf.cards = cards
+	if err != nil {
+		releaseCards(buf)
+		return nil, err
+	}
+	q := st.tmpl.Query
+	for i := range buf.cards {
+		c := &buf.cards[i]
+		so, ok := s.opt.AttributeCard(q, c.Node, values, c.Rows, c.LeftRows, c.RightRows, c.Lo, c.Hi)
+		if !ok {
+			continue
+		}
+		// The exported q-error histogram tracks the estimate the optimizer
+		// actually serves — base estimate times the learned factor — so it
+		// converges toward 1 as corrections absorb the base estimator's bias
+		// (and measures the raw base error when the adaptive layer is off).
+		// The learner itself always consumes the base-estimate error: the
+		// factor corrects the base, so feeding it corrected errors would make
+		// the EWMA chase its own output.
+		est := so.Est
+		if st.corr != nil {
+			est = st.corr.CorrectSel(so.Site, so.Est)
+		}
+		st.obs.RecordQError(stats.QError(est, so.Obs))
+		if st.corr != nil {
+			buf.obs = append(buf.obs, stats.Obs{Site: so.Site, LogQ: stats.LogQ(so.Est, so.Obs)})
+		}
+	}
+	st.deliverCards(buf)
+	return out, nil
 }
 
 // observeRun feeds one completed run into the metrics registry, the
@@ -850,7 +1020,7 @@ func (s *System) decide(st *templateState, res *RunResult, point []float64) (deg
 func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.Instance, point []float64) error {
 	res.Degraded = true
 	t1 := time.Now()
-	plan, oerr := s.opt.OptimizeMemo(st.memo, inst.Values)
+	plan, oerr := s.opt.OptimizeMemo(s.memoFor(st), inst.Values)
 	if oerr != nil {
 		return &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
 	}
@@ -870,6 +1040,28 @@ func (s *System) runDegraded(st *templateState, res *RunResult, inst optimizer.I
 	}
 	st.Deliver(fb)
 	return nil
+}
+
+// memoFor returns the template's current memo, rebuilding it first when
+// the adaptive statistics epoch has moved past the one the memo captured —
+// the memo's interned join selectivities embed correction factors, so an
+// epoch bump makes its costs stale (plans it enumerates stay valid). The
+// epoch comparison is two atomic loads on the hot path; concurrent rebuilds
+// are benign (both build from the current or a newer epoch, last store
+// wins). A rebuild failure keeps serving the stale memo: lagging costs beat
+// a failed query.
+func (s *System) memoFor(st *templateState) *optimizer.Memo {
+	m := st.memo.Load()
+	if st.corr == nil || m.StatsEpoch == st.corr.Epoch() {
+		return m
+	}
+	fresh, err := s.opt.NewMemo(st.tmpl.Query)
+	if err != nil {
+		return m
+	}
+	st.memo.Store(fresh)
+	st.obs.CountMemoInvalidation()
+	return fresh
 }
 
 // resolvePlan fetches the plan to execute: on a hit, rebind the cached
@@ -929,7 +1121,7 @@ func (s *System) resolvePlan(st *templateState, res *RunResult, inst optimizer.I
 		// unusable): optimize afresh — a cache miss despite a possibly
 		// correct prediction.
 		t1 := time.Now()
-		plan, oerr := s.opt.OptimizeMemo(st.memo, inst.Values)
+		plan, oerr := s.opt.OptimizeMemo(s.memoFor(st), inst.Values)
 		if oerr != nil {
 			return nil, nil, &PipelineError{Stage: "optimize", Template: res.Template, Err: oerr}
 		}
@@ -1015,6 +1207,12 @@ type Stats struct {
 	// AppliedSeq is the WAL sequence number of the newest feedback point in
 	// the synopsis (0 when durability is disabled or nothing was logged).
 	AppliedSeq uint64
+	// CorrectionEpoch and CorrectionSites report the adaptive statistics
+	// layer's state for this template: the correction epoch and the number
+	// of predicate sites whose factor is past cold start. Both zero when
+	// the layer is disabled.
+	CorrectionEpoch uint64
+	CorrectionSites int
 }
 
 // TemplateStats reports the online learner's state for one template. It
@@ -1041,6 +1239,10 @@ func (s *System) TemplateStats(template string) (out Stats, err error) {
 	}
 	out.Precision, out.PrecisionKnown = est.Precision()
 	out.Recall, out.RecallKnown = est.Recall()
+	if st.corr != nil {
+		out.CorrectionEpoch = st.corr.Epoch()
+		out.CorrectionSites = st.corr.ActiveSites()
+	}
 	return out, nil
 }
 
@@ -1269,7 +1471,7 @@ func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	plan, err := e.sys.opt.OptimizeMemo(e.st.memo, inst.Values)
+	plan, err := e.sys.opt.OptimizeMemo(e.sys.memoFor(e.st), inst.Values)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -235,6 +235,59 @@ func TestLeaderRestartReplicaConvergence(t *testing.T) {
 	}
 }
 
+// TestLeaderReplicaCorrectionParity: the adaptive-statistics state ships
+// with the learner — the snapshot carries the corrections section inside
+// the EncodeState bytes and the stream carries kind-2 WAL records — so a
+// converged replica holds correction factors identical to the leader's.
+func TestLeaderReplicaCorrectionParity(t *testing.T) {
+	sys := openDurable(t, t.TempDir(), nil)
+	defer sys.Close() //nolint:errcheck
+	runDurableWorkload(t, sys, 150, 17)
+
+	srv := fastServe(t, sys)
+	st := fastReplica(t, srv.Addr())
+	waitReplica(t, "snapshot install", st.Ready)
+
+	// Live corrections accumulate while the replica tails the stream.
+	runDurableWorkload(t, sys, 100, 19)
+	quiesce(t, sys)
+	waitReplica(t, "catch-up", func() bool {
+		return st.ReceivedSeq() == sys.WALLastSeq()
+	})
+
+	lst, err := sys.lookup("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.corr == nil {
+		t.Fatal("leader has no correction state; parity is vacuous")
+	}
+	lEpoch, lSeq, lSites := lst.corr.State()
+	if lSeq == 0 {
+		t.Fatal("leader logged no corrections; parity is vacuous")
+	}
+	rc := st.CorrectionState("Q1")
+	if rc == nil {
+		t.Fatal("replica shipped no correction state")
+	}
+	rEpoch, rSeq, rSites := rc.State()
+	if rEpoch != lEpoch || rSeq != lSeq {
+		t.Errorf("replica correction (epoch %d, seq %d), leader (%d, %d)", rEpoch, rSeq, lEpoch, lSeq)
+	}
+	for i := range lSites {
+		if rSites[i] != lSites[i] {
+			t.Errorf("site %d: replica %+v, leader %+v", i+1, rSites[i], lSites[i])
+		}
+	}
+	// The published factors — what an epoch's predictions cost through —
+	// are bit-identical per site.
+	for s := 1; s <= lst.corr.NSites(); s++ {
+		if rc.Factor(s) != lst.corr.Factor(s) {
+			t.Errorf("site %d factor: replica %v, leader %v", s, rc.Factor(s), lst.corr.Factor(s))
+		}
+	}
+}
+
 func TestReplicationMetricsSurface(t *testing.T) {
 	sys := openDurable(t, t.TempDir(), nil)
 	defer sys.Close() //nolint:errcheck
