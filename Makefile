@@ -9,7 +9,7 @@ FUZZTIME ?= 15s
 # and writes $(BENCH_OUT) with benchcmp-style deltas against $(BENCH_BASE);
 # `make benchcmp OLD=a.json NEW=b.json` diffs any two stored reports.
 BENCH_BASE ?= bench_baseline.json
-BENCH_OUT  ?= BENCH_PR9.json
+BENCH_OUT  ?= BENCH_PR10.json
 
 # Where `make profile` drops its pprof output.
 PROFILE_DIR ?= profiles
@@ -50,12 +50,14 @@ crash:
 	$(GO) test -race -run TestKillRestartRecovery -v ./cmd/ppcserve
 
 # Short fuzz smoke over every decoder that reads crash-shaped bytes: the
-# WAL frame decoder, the WAL directory scanner/repairer, and the snapshot
-# envelope. Go runs one fuzz target per invocation, hence three runs.
+# WAL frame decoder, the WAL directory scanner/repairer, the snapshot
+# envelope, and the optional state-tail sections (corrections + retune). Go
+# runs one fuzz target per invocation, hence four runs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzStateTailDecode -fuzztime $(FUZZTIME) ./internal/core
 
 # The replication suite, bottom up: wire protocol and torn/corrupt frames,
 # WAL tailing, leader/replica servers under fault injection (epoch fencing,

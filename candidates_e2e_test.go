@@ -1,0 +1,174 @@
+package ppc
+
+// End-to-end tests for the candidate-generation subsystem: at Register the
+// facade enumerates a diverse plan set under perturbed selectivities and
+// interns it into the shared cache, so the learner routes among real,
+// structurally distinct plans from the first query; after a correction
+// epoch bump the set regenerates under the corrected estimates and routing
+// lands on the plan an undistorted optimizer would pick.
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+// openCandidateSystem opens the PR 9 distorted adaptive substrate with
+// candidate generation on top: a 6x-biased base estimator the correction
+// learner can absorb, synchronous feedback, and the candidate set interned
+// at Register.
+func openCandidateSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := Open(Options{
+		TPCH:          tpch.Config{Scale: 1000, Seed: 5},
+		Online:        onlineForTest(),
+		FeedbackQueue: -1,
+		StatsWrap:     distortLineitem,
+		Candidates:    CandidatesOptions{Enable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() }) //nolint:errcheck
+	return sys
+}
+
+// candidateFingerprints snapshots the template's current candidate set.
+func candidateFingerprints(st *templateState) []string {
+	st.candMu.RLock()
+	defer st.candMu.RUnlock()
+	return append([]string(nil), st.candFPs...)
+}
+
+// TestCandidateSetDiverseAtRegister: registration alone must intern at
+// least 3 structurally distinct candidate plans for the running-example
+// template — before any query runs — and surface the count on the metrics
+// snapshot.
+func TestCandidateSetDiverseAtRegister(t *testing.T) {
+	sys := openCandidateSystem(t)
+	if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.lookup("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := candidateFingerprints(st)
+	distinct := make(map[string]bool, len(fps))
+	for _, fp := range fps {
+		distinct[fp] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("Register interned %d distinct candidate plans (%v), want >= 3", len(distinct), fps)
+	}
+	if len(distinct) != len(fps) {
+		t.Errorf("candidate set holds duplicates: %v", fps)
+	}
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range snap.Templates {
+		if tm.Template == "Q1" && tm.Counters.CandidatePlans != int64(len(fps)) {
+			t.Errorf("metrics report %d candidate plans, set holds %d", tm.Counters.CandidatePlans, len(fps))
+		}
+	}
+	// Every candidate is live in the shared cache, recostable for routing.
+	sys.cacheMu.RLock()
+	st.candMu.RLock()
+	for i, id := range st.candIDs {
+		entry := sys.planByID[id]
+		if entry == nil || entry.owner != st || entry.rebind == nil {
+			t.Errorf("candidate %d (plan id %d) not live in the cache", i, id)
+		}
+	}
+	st.candMu.RUnlock()
+	sys.cacheMu.RUnlock()
+}
+
+// TestCandidateRoutingUnderDistortion is the tentpole acceptance criterion:
+// under the 6x distortion the learner's optimizer invocations are served by
+// candidate routing (recost the interned set, cheapest wins) rather than
+// full optimization, and once the corrections converge — bumping the
+// correction epoch and regenerating the set — routing picks exactly the
+// plan a ground-truth (undistorted) optimizer picks, without ever waiting
+// for a cache miss to discover it.
+func TestCandidateRoutingUnderDistortion(t *testing.T) {
+	// Ground truth: the plan an undistorted optimizer picks at the probe.
+	truth, err := Open(Options{
+		TPCH:          tpch.Config{Scale: 1000, Seed: 5},
+		Online:        onlineForTest(),
+		FeedbackQueue: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer truth.Close() //nolint:errcheck
+	if err := truth.Register("Q1", mustSQL(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := truth.Template("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := truth.Optimizer().InstanceAt(tmpl, []float64{0.3, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthPlan, err := truth.Optimizer().Optimize(tmpl.Query, probe.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := openCandidateSystem(t)
+	if err := sys.Register("Q1", mustSQL(t, "Q1")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.lookup("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The skewed workload warms the corrections (epoch bumps regenerate the
+	// candidate set under the corrected estimates) while the learner's
+	// optimizer invocations route among the candidates throughout.
+	runSkewed(t, sys, 300, 7)
+	if _, err := sys.TemplateStats("Q1"); err != nil { // flush the applier
+		t.Fatal(err)
+	}
+
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range snap.Templates {
+		if tm.Template != "Q1" {
+			continue
+		}
+		if tm.Counters.CandidateRouted == 0 {
+			t.Error("no learner invocation was candidate-routed across 300 runs")
+		}
+		if tm.Counters.CandidatePlans < 3 {
+			t.Errorf("candidate set shrank to %d plans", tm.Counters.CandidatePlans)
+		}
+	}
+
+	// The converged set contains the ground-truth plan and routing picks it.
+	if !st.candidateHas(truthPlan.Fingerprint) {
+		t.Fatalf("converged candidate set %v does not contain the ground-truth plan %s",
+			candidateFingerprints(st), truthPlan.Fingerprint)
+	}
+	id, _, ok := sys.candidateRoute(st, probe.Values)
+	if !ok {
+		t.Fatal("candidate routing declined at the probe point after convergence")
+	}
+	sys.cacheMu.RLock()
+	entry := sys.planByID[id]
+	sys.cacheMu.RUnlock()
+	if entry == nil {
+		t.Fatalf("routed plan id %d not in the cache", id)
+	}
+	if entry.plan.Fingerprint != truthPlan.Fingerprint {
+		t.Errorf("candidate routing picked %s, ground-truth optimizer picks %s",
+			entry.plan.Fingerprint, truthPlan.Fingerprint)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lsh"
 	"repro/internal/obsv"
 	"repro/internal/stats"
 	"repro/internal/wal"
@@ -79,6 +80,25 @@ func (w *walSink) LogFeedback(fb *core.Feedback) (uint64, error) {
 // Commit is the per-batch group-commit barrier.
 func (w *walSink) Commit() error { return w.log.Commit() }
 
+// LogRetune appends one tunable-LSH retune record (core.RetuneLogger). Runs
+// under the learner write lock, before the retune applies, so recovery and
+// replicas see the record ordered exactly against the feedback stream — the
+// order that makes the rebuilt synopsis bit-identical. The record carries
+// the absolute warp grid, making replay deterministic and idempotent.
+func (w *walSink) LogRetune(epoch uint64, warps [][]*lsh.Warp) (uint64, error) {
+	t, s, k, flat := core.FlattenWarps(warps)
+	rec := wal.Record{
+		Kind:        wal.RecordRetune,
+		Template:    w.template,
+		RetuneEpoch: epoch,
+		WarpT:       uint16(t),
+		WarpS:       uint16(s),
+		WarpK:       uint16(k),
+		Warps:       flat,
+	}
+	return w.log.Append(&rec)
+}
+
 // LogCorrection appends one correction-state record (stats.CorrLogger).
 // Runs under Corrections.mu — a leaf below every other lock — while the log
 // serializes on its own mutex. Records carry absolute post-update state, so
@@ -117,7 +137,7 @@ func (s *System) openDurable() error {
 		return err
 	}
 	s.wal = log
-	s.walPending = make(map[string][]core.Feedback)
+	s.walPending = make(map[string][]wal.Record)
 	s.corrPending = make(map[string][]stats.CorrRecord)
 
 	// Load the latest checkpoint. A missing file is a first boot; an
@@ -156,10 +176,14 @@ func (s *System) openDurable() error {
 
 	// Replay the tail. Records are globally ordered by sequence number;
 	// grouping by template preserves each learner's relative order, which
-	// is the only order that matters (learners share no state). Correction
-	// records ride the same log under their own kind and replay into the
-	// template's correction state rather than its learner.
-	byTemplate := make(map[string][]core.Feedback)
+	// is the only order that matters (learners share no state). Feedback and
+	// retune records stay interleaved within a template's stream — a retune
+	// record is a barrier, and replayRecords flushes the feedback batch at
+	// each one so the rebuilt synopsis matches the leader's bit for bit.
+	// Correction records ride the same log under their own kind and replay
+	// into the template's correction state rather than its learner
+	// (order-independent: they carry absolute post-update state).
+	byTemplate := make(map[string][]wal.Record)
 	corrByTemplate := make(map[string][]stats.CorrRecord)
 	for _, r := range recov.Records {
 		if r.Kind == wal.RecordCorrection {
@@ -173,14 +197,7 @@ func (s *System) openDurable() error {
 			})
 			continue
 		}
-		byTemplate[r.Template] = append(byTemplate[r.Template], core.Feedback{
-			Point:       r.Point,
-			Plan:        int(r.Plan),
-			Cost:        r.Cost,
-			SelfLabeled: r.SelfLabeled,
-			Epoch:       r.Epoch,
-			Seq:         r.Seq,
-		})
+		byTemplate[r.Template] = append(byTemplate[r.Template], r)
 	}
 	s.regMu.RLock()
 	states := make(map[string]*templateState, len(s.templates))
@@ -188,16 +205,17 @@ func (s *System) openDurable() error {
 		states[n] = st
 	}
 	s.regMu.RUnlock()
-	for name, batch := range byTemplate {
+	for name, recs := range byTemplate {
 		st := states[name]
 		if st == nil {
 			// The checkpoint does not know this template (first boot, or a
 			// corrupt checkpoint). Hold the records until Register.
-			s.walPending[name] = batch
-			report.WALPending += len(batch)
+			s.walPending[name] = recs
+			report.WALPending += len(recs)
 			continue
 		}
-		applied, skipped, stale := st.online.ReplayBatch(batch)
+		applied, skipped, stale := replayRecords(st.online, recs)
+		st.obs.SetRetuneEpoch(st.online.RetuneEpoch())
 		report.WALReplayed += applied
 		report.WALSkipped += skipped
 		report.WALStale += stale
@@ -235,28 +253,75 @@ func (s *System) openDurable() error {
 	return nil
 }
 
+// replayRecords replays one template's ordered WAL record stream — feedback
+// and retune records interleaved in log order — into its learner. Feedback
+// accumulates into batches flushed at each retune record, preserving the
+// leader's insert/retune interleaving (the retune rebuilds the synopsis
+// from its reservoir, so a point applied on the wrong side of it would land
+// in the wrong mapping). Malformed retune payloads are counted stale.
+func replayRecords(o *core.Online, recs []wal.Record) (applied, skipped, stale int) {
+	batch := make([]core.Feedback, 0, len(recs))
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		a, sk, stl := o.ReplayBatch(batch)
+		applied += a
+		skipped += sk
+		stale += stl
+		batch = batch[:0]
+	}
+	for _, r := range recs {
+		if r.Kind == wal.RecordRetune {
+			flush()
+			warps, err := core.WarpsFromFlat(int(r.WarpT), int(r.WarpS), int(r.WarpK), r.Warps)
+			if err != nil {
+				stale++
+				continue
+			}
+			if o.ReplayRetune(r.Seq, r.RetuneEpoch, warps) {
+				applied++
+			} else {
+				skipped++
+			}
+			continue
+		}
+		batch = append(batch, core.Feedback{
+			Point:       r.Point,
+			Plan:        int(r.Plan),
+			Cost:        r.Cost,
+			SelfLabeled: r.SelfLabeled,
+			Epoch:       r.Epoch,
+			Seq:         r.Seq,
+		})
+	}
+	flush()
+	return applied, skipped, stale
+}
+
 // replayPendingLocked applies WAL records held for a template that was not
-// in the checkpoint. Records whose dimensionality disagrees with the
-// registered template are counted stale rather than applied (the template
-// changed shape between crash and restart). Callers hold s.regMu.
+// in the checkpoint. Feedback records whose dimensionality disagrees with
+// the registered template are counted stale rather than applied (the
+// template changed shape between crash and restart). Callers hold s.regMu.
 func (s *System) replayPendingLocked(name string, st *templateState) {
-	batch := s.walPending[name]
-	if len(batch) == 0 && len(s.corrPending[name]) == 0 {
+	recs := s.walPending[name]
+	if len(recs) == 0 && len(s.corrPending[name]) == 0 {
 		return
 	}
 	t0 := time.Now()
 	delete(s.walPending, name)
 	dims := st.tmpl.Degree()
-	kept := batch[:0]
+	kept := recs[:0]
 	mismatched := 0
-	for _, fb := range batch {
-		if len(fb.Point) != dims {
+	for _, r := range recs {
+		if r.Kind != wal.RecordRetune && len(r.Point) != dims {
 			mismatched++
 			continue
 		}
-		kept = append(kept, fb)
+		kept = append(kept, r)
 	}
-	applied, skipped, stale := st.online.ReplayBatch(kept)
+	applied, skipped, stale := replayRecords(st.online, kept)
+	st.obs.SetRetuneEpoch(st.online.RetuneEpoch())
 	corrRecs := s.corrPending[name]
 	delete(s.corrPending, name)
 	corrApplied, corrSkipped := 0, 0
@@ -273,7 +338,7 @@ func (s *System) replayPendingLocked(name string, st *templateState) {
 	}
 	s.loadMu.Lock()
 	if r := s.lastLoad; r != nil {
-		r.WALPending -= len(batch) + len(corrRecs)
+		r.WALPending -= len(recs) + len(corrRecs)
 		r.WALReplayed += applied + corrApplied
 		r.WALSkipped += skipped + corrSkipped
 		r.WALStale += stale + mismatched

@@ -1,0 +1,193 @@
+package benchsuite
+
+// Drift measurements for the PR 10 tunable-LSH and candidate-generation
+// work: a fixed-grid vs. re-tuned predictor comparison on a temporally
+// drifting parameter distribution (the regime a construction-time transform
+// cannot track), and a candidate-substrate pass that opens a real System
+// with candidate generation and tunable LSH enabled and reports how the
+// serving path actually routed.
+
+import (
+	"fmt"
+
+	ppc "repro"
+	"repro/internal/core"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// driftLabelGrid is the ground-truth labeling resolution of the drift
+// comparison: plans are cells of a driftLabelGrid² partition of the plan
+// space, fine enough that a fixed transform grid smears neighbouring labels
+// into one bucket once the workload's mass concentrates on a thin moving
+// slab.
+const driftLabelGrid = 6
+
+func driftPlan(x []float64) int {
+	ix := int(x[0] * driftLabelGrid)
+	if ix >= driftLabelGrid {
+		ix = driftLabelGrid - 1
+	}
+	iy := int(x[1] * driftLabelGrid)
+	if iy >= driftLabelGrid {
+		iy = driftLabelGrid - 1
+	}
+	return ix*driftLabelGrid + iy
+}
+
+func driftCost(x []float64) float64 {
+	return 10*float64(driftPlan(x)+1) + x[0] + x[1]
+}
+
+// driftEnv satisfies core.Environment with the synthetic ground truth. The
+// comparison feeds validated labels directly (LearnValidated), so the env
+// is only consulted if a caller steps the driver — it never lies.
+type driftEnv struct{}
+
+func (driftEnv) Optimize(x []float64) (int, float64, error)      { return driftPlan(x), driftCost(x), nil }
+func (driftEnv) ExecuteCost(x []float64, _ int) (float64, error) { return driftCost(x), nil }
+
+// DriftPrecision is the outcome of one fixed-vs-tunable drift comparison:
+// precision is correct/predicted and recall predicted/queried over the
+// scored tail of the stream (identical workload, labels and base-ensemble
+// seed for both drivers — the only difference is RetuneEvery).
+type DriftPrecision struct {
+	FixedPrecision   float64
+	FixedRecall      float64
+	TunablePrecision float64
+	TunableRecall    float64
+	RetuneEpochs     uint64
+}
+
+// MeasureDriftPrecision replays the same drifting workload through two
+// otherwise identical learners — one with the construction-time transform
+// grid, one with tunable LSH re-tuning every 150 insertions — and scores
+// each point's model prediction against the synthetic ground truth before
+// feeding the labeled point back. The stream's mass is a Gaussian slab
+// (sigma 0.05) whose center translates across the space, so the empirical
+// coordinate distribution keeps leaving the region the fixed grid resolved;
+// the re-tune pass follows it.
+func MeasureDriftPrecision() (DriftPrecision, error) {
+	cfg := core.OnlineConfig{
+		Core: core.Config{Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true},
+		Seed: 17,
+	}
+	tcfg := cfg
+	tcfg.Core.RetuneEvery = 150
+	tcfg.Core.RetuneReservoir = 512
+
+	fixed, err := core.NewOnline(cfg, driftEnv{})
+	if err != nil {
+		return DriftPrecision{}, err
+	}
+	tunable, err := core.NewOnline(tcfg, driftEnv{})
+	if err != nil {
+		return DriftPrecision{}, err
+	}
+	pts, err := workload.Drifting(workload.DriftConfig{
+		Dims: 2, NumPoints: 2000, Sigma: 0.05, Seed: 29,
+	})
+	if err != nil {
+		return DriftPrecision{}, err
+	}
+	const warmup = 300
+	var out DriftPrecision
+	score := func(o *core.Online, i int, x []float64, predicted, correct *int) error {
+		if i >= warmup {
+			if pred, _, _ := o.PredictModel(x); pred.OK {
+				*predicted++
+				if pred.Plan == driftPlan(x) {
+					*correct++
+				}
+			}
+		}
+		return o.LearnValidated(x, driftPlan(x), driftCost(x))
+	}
+	var fPred, fCorr, tPred, tCorr int
+	for i, x := range pts {
+		if err := score(fixed, i, x, &fPred, &fCorr); err != nil {
+			return DriftPrecision{}, err
+		}
+		if err := score(tunable, i, x, &tPred, &tCorr); err != nil {
+			return DriftPrecision{}, err
+		}
+	}
+	scored := float64(len(pts) - warmup)
+	if fPred > 0 {
+		out.FixedPrecision = float64(fCorr) / float64(fPred)
+	}
+	out.FixedRecall = float64(fPred) / scored
+	if tPred > 0 {
+		out.TunablePrecision = float64(tCorr) / float64(tPred)
+	}
+	out.TunableRecall = float64(tPred) / scored
+	out.RetuneEpochs = tunable.RetuneEpoch()
+	return out, nil
+}
+
+// CandidateSummary is the serving-path outcome of the candidate substrate:
+// how many candidate plans the generator interned for the template, how
+// many runs the candidate router decided (cheapest live candidate recosted
+// at the instance's values, no full optimization), and the tunable-LSH
+// retune epoch the learner reached.
+type CandidateSummary struct {
+	CandidatePlans  int64
+	CandidateRouted uint64
+	RetuneEpochs    uint64
+}
+
+// MeasureCandidates opens a System with candidate generation and tunable
+// LSH enabled, registers the running-example template, and serves a
+// drifting workload through the full Run path. The returned summary comes
+// from the same observability snapshot ppc-bench reports elsewhere, so the
+// numbers are the serving path's own counters, not a side simulation.
+func MeasureCandidates() (CandidateSummary, error) {
+	sys, err := ppc.Open(ppc.Options{
+		TPCH:       tpch.Config{Scale: 2000, Seed: 5},
+		Candidates: ppc.CandidatesOptions{Enable: true},
+		TunableLSH: ppc.TunableLSHOptions{Enable: true, RetuneEvery: 100, Reservoir: 256},
+	})
+	if err != nil {
+		return CandidateSummary{}, err
+	}
+	defer sys.Close() //nolint:errcheck
+	sql, ok := defSQL("Q1")
+	if !ok {
+		return CandidateSummary{}, fmt.Errorf("benchsuite: no Q1 definition")
+	}
+	if err := sys.Register("Q1", sql); err != nil {
+		return CandidateSummary{}, err
+	}
+	tmpl, err := sys.Template("Q1")
+	if err != nil {
+		return CandidateSummary{}, err
+	}
+	pts, err := workload.Drifting(workload.DriftConfig{
+		Dims: tmpl.Degree(), NumPoints: 512, Sigma: 0.05, Seed: 31,
+	})
+	if err != nil {
+		return CandidateSummary{}, err
+	}
+	for _, p := range pts {
+		inst, err := sys.Optimizer().InstanceAt(tmpl, p)
+		if err != nil {
+			return CandidateSummary{}, err
+		}
+		if _, err := sys.Run("Q1", inst.Values); err != nil {
+			return CandidateSummary{}, err
+		}
+	}
+	snap, err := sys.MetricsSnapshot()
+	if err != nil {
+		return CandidateSummary{}, err
+	}
+	var out CandidateSummary
+	for _, t := range snap.Templates {
+		out.CandidatePlans += t.Counters.CandidatePlans
+		out.CandidateRouted += t.Counters.CandidateRouted
+		if t.Counters.RetuneEpoch > out.RetuneEpochs {
+			out.RetuneEpochs = t.Counters.RetuneEpoch
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package benchsuite
+
+import "testing"
+
+// TestDriftPrecisionTunableBeatsFixed is the PR 10 headline measurement as
+// a regression test: on the drifting workload the re-tuned ensemble must
+// out-predict the fixed construction-time grid. The measurement is fully
+// deterministic (fixed seeds), so a strict inequality is stable.
+func TestDriftPrecisionTunableBeatsFixed(t *testing.T) {
+	res, err := MeasureDriftPrecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixed precision %.3f recall %.3f; tunable precision %.3f recall %.3f; retunes %d",
+		res.FixedPrecision, res.FixedRecall, res.TunablePrecision, res.TunableRecall, res.RetuneEpochs)
+	if res.RetuneEpochs == 0 {
+		t.Fatal("tunable driver never retuned")
+	}
+	if res.TunablePrecision <= res.FixedPrecision {
+		t.Fatalf("tunable precision %.3f does not beat fixed %.3f",
+			res.TunablePrecision, res.FixedPrecision)
+	}
+	if res.TunableRecall == 0 || res.FixedRecall == 0 {
+		t.Fatal("a driver predicted nothing on the scored tail")
+	}
+}
+
+// TestMeasureCandidates exercises the candidate substrate end to end: the
+// generator must intern several structurally distinct plans at Register and
+// the router must decide real runs from that set.
+func TestMeasureCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens a full System substrate")
+	}
+	sum, err := MeasureCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("candidate plans %d, candidate routed %d, retune epochs %d",
+		sum.CandidatePlans, sum.CandidateRouted, sum.RetuneEpochs)
+	if sum.CandidatePlans < 3 {
+		t.Fatalf("candidate generator interned %d plans, want >= 3", sum.CandidatePlans)
+	}
+	if sum.CandidateRouted == 0 {
+		t.Fatal("candidate router decided no runs")
+	}
+}

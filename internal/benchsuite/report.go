@@ -114,6 +114,23 @@ type Report struct {
 	QErrorP50         float64 `json:"qerror_p50,omitempty"`
 	QErrorP95         float64 `json:"qerror_p95,omitempty"`
 	MemoInvalidations uint64  `json:"memo_invalidations"`
+	// The PR 10 candidate-generation and tunable-LSH numbers. CandidateCount
+	// is how many structurally distinct candidate plans the generator
+	// interned for the candidate substrate's template, CandidateRouted how
+	// many of its runs the candidate router decided without a full
+	// optimization, and RetuneEpochs the tunable-LSH re-tune epoch its
+	// learner reached over a drifting workload. The drift_precision_* and
+	// drift_recall_* pairs compare a fixed construction-time transform grid
+	// against the re-tuned one on an identical drifting stream (same labels,
+	// same base-ensemble seed): precision is correct/predicted, recall
+	// predicted/queried. All additive — the schema stays ppc-bench/v1.
+	CandidateCount        int64   `json:"candidate_count,omitempty"`
+	CandidateRouted       uint64  `json:"candidate_routed,omitempty"`
+	RetuneEpochs          uint64  `json:"retune_epochs,omitempty"`
+	DriftPrecisionFixed   float64 `json:"drift_precision_fixed,omitempty"`
+	DriftPrecisionTunable float64 `json:"drift_precision_tunable,omitempty"`
+	DriftRecallFixed      float64 `json:"drift_recall_fixed,omitempty"`
+	DriftRecallTunable    float64 `json:"drift_recall_tunable,omitempty"`
 	// BaselineFile and Deltas are filled when the run is compared against
 	// a stored baseline report (ppcbench -baseline).
 	BaselineFile string   `json:"baseline_file,omitempty"`
@@ -185,6 +202,30 @@ func RunSuite(progress io.Writer) (Report, error) {
 	rep.ReplicaCatchupMs = catchup
 	rep.ReplicationLagRecords = lag
 	rep.QErrorP50, rep.QErrorP95, rep.MemoInvalidations = AdaptiveStatsSummary()
+	if progress != nil {
+		fmt.Fprintln(progress, "measuring drift precision (fixed vs tunable LSH)...")
+	}
+	drift, err := MeasureDriftPrecision()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.DriftPrecisionFixed = drift.FixedPrecision
+	rep.DriftPrecisionTunable = drift.TunablePrecision
+	rep.DriftRecallFixed = drift.FixedRecall
+	rep.DriftRecallTunable = drift.TunableRecall
+	rep.RetuneEpochs = drift.RetuneEpochs
+	if progress != nil {
+		fmt.Fprintln(progress, "measuring candidate routing...")
+	}
+	cand, err := MeasureCandidates()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.CandidateCount = cand.CandidatePlans
+	rep.CandidateRouted = cand.CandidateRouted
+	if cand.RetuneEpochs > rep.RetuneEpochs {
+		rep.RetuneEpochs = cand.RetuneEpochs
+	}
 	return rep, nil
 }
 
@@ -275,6 +316,13 @@ func WriteComparison(w io.Writer, old, cur Report) {
 	}
 	if old.ReplicationLagRecords > 0 || cur.ReplicationLagRecords > 0 {
 		fmt.Fprintf(w, "%-24s %14d %14d\n", "replication peak lag", old.ReplicationLagRecords, cur.ReplicationLagRecords)
+	}
+	if old.DriftPrecisionTunable > 0 || cur.DriftPrecisionTunable > 0 {
+		fmt.Fprintf(w, "%-24s %14.3f %14.3f\n", "drift precision fixed", old.DriftPrecisionFixed, cur.DriftPrecisionFixed)
+		fmt.Fprintf(w, "%-24s %14.3f %14.3f\n", "drift precision tuned", old.DriftPrecisionTunable, cur.DriftPrecisionTunable)
+	}
+	if old.CandidateCount > 0 || cur.CandidateCount > 0 {
+		fmt.Fprintf(w, "%-24s %14d %14d\n", "candidate plans", old.CandidateCount, cur.CandidateCount)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Package candidates enumerates a diverse set of plausible plans for a
+// query template by re-optimizing it under systematically perturbed
+// selectivity estimates — the robustness idea behind plan-set generators
+// like Kepler's row-count evolution: the optimizer's point estimate picks
+// one plan, but scaling the estimated selectivities up and down sweeps out
+// the plans that become optimal when the estimate is wrong in either
+// direction. Interned into the plan cache at registration time, the set
+// lets the learner route among real alternatives from the first query
+// instead of waiting for cache misses to populate them.
+package candidates
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+)
+
+// Config parameterizes enumeration.
+type Config struct {
+	// Scales are the multiplicative selectivity distortions applied around
+	// the base estimate (1.0 — always probed — need not be listed).
+	// Default {0.25, 0.5, 2, 4}.
+	Scales []float64
+	// MaxPlans caps the candidate set (default 8). Candidates found at less
+	// distorted scales win ties for a slot.
+	MaxPlans int
+	// ProbeExtremes adds per-axis extreme probe points (selectivity 0.1 and
+	// 0.9 on each parameter axis, others centered) to the center probe,
+	// covering plan changes driven by where in the plan space the query
+	// lands rather than by estimation error. Default on (set via
+	// withDefaults; Disable to turn off).
+	DisableExtremes bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Scales == nil {
+		c.Scales = []float64{0.25, 0.5, 2, 4}
+	}
+	for _, s := range c.Scales {
+		if s <= 0 {
+			return c, fmt.Errorf("candidates: scale %v must be positive", s)
+		}
+	}
+	if c.MaxPlans == 0 {
+		c.MaxPlans = 8
+	}
+	if c.MaxPlans < 1 {
+		return c, fmt.Errorf("candidates: MaxPlans must be positive, got %d", c.MaxPlans)
+	}
+	return c, nil
+}
+
+// Candidate is one structurally distinct plan surfaced by the sweep.
+type Candidate struct {
+	Plan *optimizer.Plan
+	// Scale is the least-distorted selectivity scale that produced the plan
+	// (1 = the optimizer's own estimate).
+	Scale float64
+	// Probe is the plan-space point the plan was optimized at.
+	Probe []float64
+}
+
+// Generate enumerates candidate plans for the template by optimizing at
+// each probe point under each selectivity scale, deduplicating structurally
+// (by fingerprint). The result is deterministic: probes and scales run in a
+// fixed order and ties break toward less distortion. opt's current stats
+// provider supplies the base estimates; it is never mutated (distorted
+// probes run on WithStats clones).
+func Generate(opt *optimizer.Optimizer, tmpl *optimizer.Template, cfg Config) ([]Candidate, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	probes := probePoints(tmpl.Degree(), cfg)
+	// Scales ordered by distortion (distance from 1), base first, so the
+	// first appearance of a fingerprint is the least-distorted sighting.
+	scales := append([]float64{1}, cfg.Scales...)
+	sort.SliceStable(scales, func(a, b int) bool {
+		return distortion(scales[a]) < distortion(scales[b])
+	})
+
+	base := opt.Stats()
+	memo, err := opt.NewMemo(tmpl.Query)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Candidate
+	for _, scale := range scales {
+		o := opt
+		if scale != 1 {
+			s := scale
+			o = opt.WithStats(&stats.Distorted{
+				Provider: base,
+				Sel:      func(_, _ string, sel float64) float64 { return sel * s },
+			})
+		}
+		for _, probe := range probes {
+			inst, err := opt.InstanceAt(tmpl, probe)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := o.OptimizeMemo(memo, inst.Values)
+			if err != nil {
+				return nil, err
+			}
+			if seen[plan.Fingerprint] {
+				continue
+			}
+			seen[plan.Fingerprint] = true
+			out = append(out, Candidate{Plan: plan, Scale: scale, Probe: probe})
+			if len(out) >= cfg.MaxPlans {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+func distortion(s float64) float64 {
+	if s < 1 {
+		return 1/s - 1
+	}
+	return s - 1
+}
+
+// probePoints builds the plan-space probe set: the center, plus (unless
+// disabled) per-axis extremes with the other coordinates centered — 2r+1
+// points that straddle each parameter's selectivity range.
+func probePoints(degree int, cfg Config) [][]float64 {
+	center := make([]float64, degree)
+	for i := range center {
+		center[i] = 0.5
+	}
+	probes := [][]float64{center}
+	if cfg.DisableExtremes {
+		return probes
+	}
+	for axis := 0; axis < degree; axis++ {
+		for _, v := range []float64{0.1, 0.9} {
+			p := make([]float64, degree)
+			copy(p, center)
+			p[axis] = v
+			probes = append(probes, p)
+		}
+	}
+	return probes
+}

@@ -1,0 +1,117 @@
+package candidates
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/queries"
+	"repro/internal/tpch"
+)
+
+var (
+	testDB  = tpch.MustGenerate(tpch.Config{Scale: 400, Seed: 7})
+	testCat = catalog.MustBuild(testDB, 0)
+	opt     = optimizer.New(testDB, testCat)
+)
+
+func tmpl(t *testing.T, name string) *optimizer.Template {
+	t.Helper()
+	tm, err := queries.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// The acceptance bar: a standard template yields at least 3 structurally
+// distinct candidate plans, the base-estimate plan among them first.
+func TestGenerateDiverseCandidates(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	cands, err := Generate(opt, tm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("only %d distinct candidates for Q1, want >= 3", len(cands))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		if c.Plan == nil || c.Plan.Fingerprint == "" {
+			t.Fatal("candidate without a plan")
+		}
+		if seen[c.Plan.Fingerprint] {
+			t.Fatalf("duplicate fingerprint %q", c.Plan.Fingerprint)
+		}
+		seen[c.Plan.Fingerprint] = true
+	}
+	if cands[0].Scale != 1 {
+		t.Fatalf("first candidate from scale %v, want the base estimate", cands[0].Scale)
+	}
+	// The base plan at the center probe must be the plan the plain
+	// optimizer picks there — the sweep may add plans, never replace the
+	// optimizer's own choice.
+	inst, err := opt.InstanceAt(tm, cands[0].Probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := opt.OptimizeInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint != cands[0].Plan.Fingerprint {
+		t.Fatal("base candidate diverges from the optimizer's own plan")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tm := tmpl(t, "Q5")
+	a, err := Generate(opt, tm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(opt, tm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d candidates", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Plan.Fingerprint != b[i].Plan.Fingerprint || a[i].Scale != b[i].Scale {
+			t.Fatalf("candidate %d differs across runs", i)
+		}
+	}
+}
+
+func TestGenerateRespectsMaxPlans(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	cands, err := Generate(opt, tm, Config{MaxPlans: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 2 {
+		t.Fatalf("MaxPlans=2 produced %d candidates", len(cands))
+	}
+}
+
+func TestGenerateDoesNotMutateOptimizer(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	before := opt.Stats()
+	if _, err := Generate(opt, tm, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats() != before {
+		t.Fatal("Generate swapped the shared optimizer's stats provider")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tm := tmpl(t, "Q1")
+	if _, err := Generate(opt, tm, Config{Scales: []float64{0}}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Generate(opt, tm, Config{MaxPlans: -1}); err == nil {
+		t.Error("negative MaxPlans accepted")
+	}
+}

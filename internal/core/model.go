@@ -24,6 +24,10 @@ type Model struct {
 	cfg      Config
 	ensemble *lsh.Ensemble
 	curves   []*zorder.Curve
+	// warps is the tunable-LSH re-mapping active at freeze time (nil =
+	// identity). Shared with the live predictor, which replaces — never
+	// mutates — it, so the snapshot stays immutable.
+	warps [][]*lsh.Warp
 	// hists and marginals are frozen views of the live synopses.
 	hists       []map[int]*histogram.Histogram
 	marginals   []*histogram.Histogram
@@ -34,6 +38,8 @@ type Model struct {
 	// version is the predictor's mutation generation at freeze time; it
 	// increases with every publication of changed state.
 	version uint64
+	// retuneEpoch is the predictor's re-tune epoch at freeze time.
+	retuneEpoch uint64
 }
 
 // TotalPoints returns the number of points the snapshot summarizes.
@@ -44,6 +50,10 @@ func (m *Model) Plans() int { return m.nPlans }
 
 // Version is the learner's mutation generation at freeze time.
 func (m *Model) Version() uint64 { return m.version }
+
+// RetuneEpoch is the tunable-LSH re-tune epoch at freeze time (0 when the
+// base mapping is still active or tuning is disabled).
+func (m *Model) RetuneEpoch() uint64 { return m.retuneEpoch }
 
 // Config returns the effective predictor configuration.
 func (m *Model) Config() Config { return m.cfg }
@@ -75,7 +85,7 @@ func (m *Model) PredictWithCost(x []float64, sc *PredictScratch) (cluster.Predic
 	if m.total < m.cfg.MinSamples || len(x) != m.cfg.Dims {
 		return cluster.Prediction{}, 0, false
 	}
-	return predictOn(&m.cfg, m.ensemble, m.curves, m.hists, m.marginals, m.valueDeltas, m.ballFrac, x, sc)
+	return predictOn(&m.cfg, m.ensemble, m.curves, m.warps, m.hists, m.marginals, m.valueDeltas, m.ballFrac, x, sc)
 }
 
 // histView is the read-only histogram surface the predict core needs. Both
@@ -94,8 +104,8 @@ type histView interface {
 // performs no heap allocation: every temporary lives in sc. Callers have
 // already checked MinSamples and the point's dimensionality.
 func predictOn[H histView](cfg *Config, ens *lsh.Ensemble, curves []*zorder.Curve,
-	hists []map[int]H, marginals []H, valueDeltas []float64, ballFrac float64,
-	x []float64, sc *PredictScratch) (cluster.Prediction, float64, bool) {
+	warps [][]*lsh.Warp, hists []map[int]H, marginals []H, valueDeltas []float64,
+	ballFrac float64, x []float64, sc *PredictScratch) (cluster.Prediction, float64, bool) {
 	clampPointInto(sc.x, x)
 	t := len(hists)
 	sc.planIDs = sc.planIDs[:0]
@@ -103,6 +113,9 @@ func predictOn[H histView](cfg *Config, ens *lsh.Ensemble, curves []*zorder.Curv
 	for i := range hists {
 		if err := ens.Transform(i).ApplyInto(sc.proj, sc.x); err != nil {
 			panic(err) // dims validated by the caller
+		}
+		if warps != nil {
+			warpInto(warps[i], sc.proj)
 		}
 		z := curves[i].ValueWith(sc.cell, sc.proj)
 		lo, hi := queryRangeOn(marginals[i], valueDeltas[i], ballFrac, z)

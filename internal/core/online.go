@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/lsh"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -192,6 +193,14 @@ type FeedbackLogger interface {
 	Commit() error
 }
 
+// RetuneLogger durably records tunable-LSH re-tune switches. Like
+// LogFeedback it is called under the learner write lock immediately before
+// the in-memory switch, carries the absolute warps (so replay needs no
+// harvest state), and degrades durability only on error.
+type RetuneLogger interface {
+	LogRetune(epoch uint64, warps [][]*lsh.Warp) (seq uint64, err error)
+}
+
 // Online is the ONLINE-APPROXIMATE-LSH-HISTOGRAMS driver for one query
 // template (Sections IV-D and IV-E), split RCU-style into a lock-free read
 // path and a serialized write path:
@@ -238,6 +247,9 @@ type Online struct {
 	// wal, when set, durably logs every applied feedback point. Written
 	// once at registration (before the template serves); read under mu.
 	wal FeedbackLogger
+	// retuneLog, when set, durably logs re-tune switches (same lifecycle
+	// and locking discipline as wal).
+	retuneLog RetuneLogger
 	// corr, when set, is the template's adaptive-statistics correction
 	// state. The driver does not consult it for predictions — corrections
 	// move optimizer costing, not plan-space points — but it rides along in
@@ -544,8 +556,58 @@ func (o *Online) applyLocked(fb Feedback) bool {
 	} else {
 		o.validated.Add(1)
 	}
+	o.maybeRetuneLocked()
 	return true
 }
+
+// maybeRetuneLocked runs the tunable-LSH switch when enough insertions have
+// accumulated: build the equalizing warps from the harvested distribution,
+// log the switch (absolute warps, so replay is self-contained), then re-map
+// the synopsis. Live path only — replay and replicas re-apply logged
+// switches through ReplayRetune instead of deciding their own, which keeps
+// every copy of the learner on the identical mapping. Callers hold mu.
+func (o *Online) maybeRetuneLocked() {
+	if !o.pred.RetuneDue() {
+		return
+	}
+	epoch := o.pred.RetuneEpoch() + 1
+	warps := o.pred.PrepareRetune()
+	if warps == nil {
+		return
+	}
+	if o.retuneLog != nil {
+		if seq, err := o.retuneLog.LogRetune(epoch, warps); err == nil && seq > 0 {
+			o.appliedSeq.Store(seq)
+		}
+	}
+	o.pred.ApplyRetune(epoch, warps)
+}
+
+// ReplayRetune re-applies a logged re-tune switch during recovery or on a
+// replica. Idempotent: a record at or below the applied-sequence watermark,
+// or an epoch at or below the predictor's, is skipped. The caller must have
+// replayed all feedback that preceded the switch first — the reservoir
+// content at switch time determines the rebuilt synopsis.
+func (o *Online) ReplayRetune(seq uint64, epoch uint64, warps [][]*lsh.Warp) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if seq != 0 && seq <= o.appliedSeq.Load() {
+		return false
+	}
+	if seq != 0 {
+		o.appliedSeq.Store(seq)
+	}
+	if epoch <= o.pred.RetuneEpoch() {
+		return false
+	}
+	o.pred.ApplyRetune(epoch, warps)
+	o.publishLocked()
+	return true
+}
+
+// RetuneEpoch returns the re-tune epoch of the published model (0 = base
+// mapping). Lock-free.
+func (o *Online) RetuneEpoch() uint64 { return o.snap.Load().RetuneEpoch() }
 
 // commitWAL runs the group-commit barrier outside the learner lock (an
 // fsync must not stall concurrent writers). Commit errors are counted by
@@ -628,6 +690,14 @@ func (o *Online) SetFaults(inj *faults.Injector) { o.faults = inj }
 func (o *Online) SetWAL(l FeedbackLogger) {
 	o.mu.Lock()
 	o.wal = l
+	o.mu.Unlock()
+}
+
+// SetRetuneLogger attaches a re-tune logger (nil disables durable logging
+// of re-tune switches). Registration time, not mid-flight.
+func (o *Online) SetRetuneLogger(l RetuneLogger) {
+	o.mu.Lock()
+	o.retuneLog = l
 	o.mu.Unlock()
 }
 
@@ -756,7 +826,14 @@ func (o *Online) EncodeState(w io.Writer) error {
 	// statistics layer is attached. Decoders treat EOF here as "no
 	// corrections", which keeps pre-correction snapshots readable.
 	if o.corr != nil {
-		return o.corr.Encode(w)
+		if err := o.corr.Encode(w); err != nil {
+			return err
+		}
+	}
+	// Optional retune section: present exactly when tunable LSH is (or was)
+	// active on this template. Same additivity contract as corrections.
+	if o.pred.hasTuningState() {
+		return o.pred.encodeRetune(w)
 	}
 	return nil
 }
@@ -780,15 +857,33 @@ func (o *Online) DecodeState(r io.Reader) error {
 	if counters[3] < 0 {
 		return fmt.Errorf("core: restored state has negative applied sequence %d", counters[3])
 	}
+	corrDec, retDec, err := decodeStateTail(r)
+	if err != nil {
+		return err
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.corr != nil {
-		// Restore the optional correction section; a snapshot without one
+		// Adopt the optional correction section; a snapshot without one
 		// (pre-correction build, or adaptive stats off at save time) resets
 		// the corrections to cold rather than keeping unrelated state.
-		if err := o.corr.RestoreFrom(r); err != nil {
+		if err := o.corr.Adopt(corrDec); err != nil {
 			return err
 		}
+	}
+	if retDec != nil {
+		if err := pred.restoreRetune(retDec); err != nil {
+			return err
+		}
+	} else if o.cfg.Core.RetuneEvery > 0 {
+		// Snapshot predates tunable LSH (or it was off at save time) but the
+		// driver wants it on: arm the machinery cold with this driver's knobs
+		// on the restored predictor's shape.
+		c := pred.cfg
+		c.RetuneEvery = o.cfg.Core.RetuneEvery
+		c.RetuneReservoir = o.cfg.Core.RetuneReservoir
+		pred.cfg = c
+		pred.initTuning(c)
 	}
 	o.pred = pred
 	o.validated.Store(counters[0])

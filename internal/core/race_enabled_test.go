@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; its shadow-memory bookkeeping shows up in AllocsPerRun, so the
+// zero-allocation guards are only meaningful in a non-race build.
+const raceEnabled = true

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
-	"repro/internal/stats"
 )
 
 // PredictModel predicts at plan-space point x against the current published
@@ -72,14 +71,21 @@ func NewReplicaOnline(r io.Reader) (*Online, error) {
 	o.selfLabeled.Store(trailer[1])
 	o.resets.Store(trailer[2])
 	o.appliedSeq.Store(uint64(trailer[3]))
-	// The optional correction section ships with the learner so replica
-	// state stays in lockstep with the leader's per epoch; a stream without
-	// one (leader running without adaptive stats) leaves corr nil.
-	corr, err := stats.DecodeCorrections(r)
+	// The optional sections ship with the learner so replica state stays in
+	// lockstep with the leader's per epoch: corrections (nil when the leader
+	// runs without adaptive stats) and tunable-LSH retune state (warps,
+	// harvest counts, reservoir — without which a shipped re-tune record
+	// could not rebuild the identical synopsis).
+	corr, ret, err := decodeStateTail(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: replica correction state: %w", err)
+		return nil, fmt.Errorf("core: replica state tail: %w", err)
 	}
 	o.corr = corr
+	if ret != nil {
+		if err := pred.restoreRetune(ret); err != nil {
+			return nil, err
+		}
+	}
 	o.snap.Store(pred.Freeze())
 	return o, nil
 }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lsh"
+)
+
+// memRetuneLog is an in-memory WAL double capturing the interleaved
+// feedback/retune record stream with one shared monotone sequence — the
+// order a replica (or recovery) must replay in.
+type memRetuneLog struct {
+	seq     uint64
+	kinds   []uint8 // 1 = feedback, 3 = retune, in log order
+	feeds   []Feedback
+	retunes []memRetune
+}
+
+type memRetune struct {
+	seq   uint64
+	epoch uint64
+	warps [][]*lsh.Warp
+}
+
+func (l *memRetuneLog) LogFeedback(fb *Feedback) (uint64, error) {
+	l.seq++
+	owned := *fb
+	owned.Seq = l.seq
+	l.feeds = append(l.feeds, owned)
+	l.kinds = append(l.kinds, 1)
+	return l.seq, nil
+}
+
+func (l *memRetuneLog) Commit() error { return nil }
+
+func (l *memRetuneLog) LogRetune(epoch uint64, warps [][]*lsh.Warp) (uint64, error) {
+	l.seq++
+	l.retunes = append(l.retunes, memRetune{seq: l.seq, epoch: epoch, warps: warps})
+	l.kinds = append(l.kinds, 3)
+	return l.seq, nil
+}
+
+func retuneTestConfig() OnlineConfig {
+	return OnlineConfig{
+		Core: Config{
+			Dims: 2, Radius: 0.08, Gamma: 0.8, Seed: 5, NoiseElimination: true,
+			RetuneEvery: 150, RetuneReservoir: 512,
+		},
+		Seed: 17,
+	}
+}
+
+// feedQuadrant applies n ground-truth-labeled quadrant points through the
+// write path (Apply), which is where the retune trigger lives.
+func feedQuadrant(t *testing.T, o *Online, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if err := o.LearnValidated(x, quadrantPlan(x), quadrantCost(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOnlineRetuneAdvancesEpochAndStaysAccurate(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(retuneTestConfig(), env)
+	feedQuadrant(t, o, 700, 41)
+	if got := o.RetuneEpoch(); got < 3 {
+		t.Fatalf("RetuneEpoch = %d after 700 inserts at RetuneEvery=150, want >= 3", got)
+	}
+	if o.Predictor().Warps() == nil {
+		t.Fatal("no warps installed after retune")
+	}
+	// The re-mapped synopsis must still predict the quadrant labeling.
+	rng := rand.New(rand.NewSource(42))
+	correct, predicted := 0, 0
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		pred, _, _ := o.PredictModel(x)
+		if !pred.OK {
+			continue
+		}
+		predicted++
+		if pred.Plan == quadrantPlan(x) {
+			correct++
+		}
+	}
+	if predicted < 80 {
+		t.Fatalf("only %d predictions after retunes", predicted)
+	}
+	if float64(correct)/float64(predicted) < 0.9 {
+		t.Fatalf("post-retune precision %d/%d below 0.9", correct, predicted)
+	}
+}
+
+func TestRetuneDisabledNeverRetunes(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	cfg := retuneTestConfig()
+	cfg.Core.RetuneEvery = 0
+	cfg.Core.RetuneReservoir = 0
+	o := MustNewOnline(cfg, env)
+	feedQuadrant(t, o, 500, 43)
+	if got := o.RetuneEpoch(); got != 0 {
+		t.Fatalf("RetuneEpoch = %d with tuning disabled", got)
+	}
+	if o.Predictor().Warps() != nil || o.Predictor().Tuner() != nil {
+		t.Fatal("tuning state materialized despite RetuneEvery=0")
+	}
+}
+
+// TestRetuneStateRoundTrip: EncodeState/DecodeState must restore the full
+// tunable-LSH state — warps, harvest counts, reservoir — so that the
+// restored learner not only predicts bit-identically but continues to
+// retune bit-identically under further identical feedback.
+func TestRetuneStateRoundTrip(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	a := MustNewOnline(retuneTestConfig(), env)
+	feedQuadrant(t, a, 520, 47) // mid-cycle: sinceRetune != 0
+
+	var buf bytes.Buffer
+	if err := a.EncodeState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := MustNewOnline(retuneTestConfig(), env)
+	if err := b.DecodeState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a.RetuneEpoch() != b.RetuneEpoch() || b.RetuneEpoch() == 0 {
+		t.Fatalf("retune epoch: leader %d, restored %d", a.RetuneEpoch(), b.RetuneEpoch())
+	}
+	// Continue both with the identical stream: the next retune must fire at
+	// the same insert and land on the same warps, so predictions stay
+	// bit-identical through it.
+	feedQuadrant(t, a, 200, 53)
+	feedQuadrant(t, b, 200, 53)
+	if a.RetuneEpoch() != b.RetuneEpoch() {
+		t.Fatalf("post-restore retunes diverged: %d vs %d", a.RetuneEpoch(), b.RetuneEpoch())
+	}
+	rng := rand.New(rand.NewSource(59))
+	hits := 0
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		ap, ac, aok := a.PredictModel(x)
+		bp, bc, bok := b.PredictModel(x)
+		if ap != bp || ac != bc || aok != bok {
+			t.Fatalf("prediction diverged at %v: %+v/%v/%v vs %+v/%v/%v", x, ap, ac, aok, bp, bc, bok)
+		}
+		if ap.OK {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no predictions; round-trip check vacuous")
+	}
+}
+
+// TestReplicaRetuneReplayParity drives a leader through several re-tunes
+// with an in-memory log, replays the captured stream — feedback and retune
+// records interleaved in log order — into a replica built from the leader's
+// cold snapshot, and requires bit-identical predictions. This is the
+// learner-level contract the networked replication layer builds on.
+func TestReplicaRetuneReplayParity(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	leader := MustNewOnline(retuneTestConfig(), env)
+	log := &memRetuneLog{}
+	leader.SetWAL(log)
+	leader.SetRetuneLogger(log)
+
+	// Cold snapshot (tuning armed, nothing learned) seeds the replica.
+	var cold bytes.Buffer
+	if err := leader.EncodeState(&cold); err != nil {
+		t.Fatal(err)
+	}
+	replica, err := NewReplicaOnline(bytes.NewReader(cold.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.Predictor().Tuner() == nil {
+		t.Fatal("replica did not restore the armed tuner")
+	}
+
+	feedQuadrant(t, leader, 700, 61)
+	if leader.RetuneEpoch() < 3 {
+		t.Fatalf("leader retuned only %d times", leader.RetuneEpoch())
+	}
+	if len(log.retunes) != int(leader.RetuneEpoch()) {
+		t.Fatalf("log captured %d retune records, leader epoch %d", len(log.retunes), leader.RetuneEpoch())
+	}
+
+	// Replay in log order: feedback batches flushed at each retune record.
+	fi, ri := 0, 0
+	var batch []Feedback
+	flush := func() {
+		if len(batch) > 0 {
+			replica.ReplayBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	for _, kind := range log.kinds {
+		switch kind {
+		case 1:
+			batch = append(batch, log.feeds[fi])
+			fi++
+		case 3:
+			flush()
+			r := log.retunes[ri]
+			ri++
+			if !replica.ReplayRetune(r.seq, r.epoch, r.warps) {
+				t.Fatalf("retune record seq %d epoch %d not applied", r.seq, r.epoch)
+			}
+			// Idempotence: a duplicate ship must be a no-op.
+			if replica.ReplayRetune(r.seq, r.epoch, r.warps) {
+				t.Fatalf("duplicate retune record seq %d applied twice", r.seq)
+			}
+		}
+	}
+	flush()
+
+	if leader.RetuneEpoch() != replica.RetuneEpoch() {
+		t.Fatalf("retune epochs diverged: leader %d, replica %d", leader.RetuneEpoch(), replica.RetuneEpoch())
+	}
+	if leader.AppliedSeq() != replica.AppliedSeq() {
+		t.Fatalf("applied seqs diverged: leader %d, replica %d", leader.AppliedSeq(), replica.AppliedSeq())
+	}
+	rng := rand.New(rand.NewSource(67))
+	hits := 0
+	for i := 0; i < 800; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		lp, lc, lok := leader.PredictModel(x)
+		rp, rc, rok := replica.PredictModel(x)
+		if lp != rp || lc != rc || lok != rok {
+			t.Fatalf("prediction diverged at %v: %+v/%v/%v vs %+v/%v/%v", x, lp, lc, lok, rp, rc, rok)
+		}
+		if lp.OK {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no predictions; parity check vacuous")
+	}
+}
+
+// Serving with warps active must stay allocation-free — the warp lookup is
+// pure arithmetic on pooled scratch.
+func TestPredictZeroAllocWithWarps(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping inflates allocation counts")
+	}
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(retuneTestConfig(), env)
+	feedQuadrant(t, o, 700, 71)
+	if o.RetuneEpoch() == 0 {
+		t.Fatal("no retune happened; alloc check would not cover warps")
+	}
+	// Find a probe point that actually predicts (exercising the full warp
+	// path); a NULL-only run would not cover the vote.
+	var x []float64
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 200; i++ {
+		cand := []float64{rng.Float64(), rng.Float64()}
+		if pred, _, _ := o.PredictModel(cand); pred.OK {
+			x = cand
+			break
+		}
+	}
+	if x == nil {
+		t.Fatal("no predicting probe point found")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		o.PredictModel(x)
+	}); avg != 0 {
+		t.Errorf("PredictModel allocates %.1f per run with warps active", avg)
+	}
+}
+
+// A drift reset must clear the reservoir (its labels are stale) but keep
+// the warps and harvested distribution (the parameter distribution is
+// orthogonal to plan boundaries), and retune epochs must stay monotone
+// across the reset.
+func TestResetKeepsWarpsDropsReservoir(t *testing.T) {
+	env := &quadrantEnv{wrongFactor: 3}
+	o := MustNewOnline(retuneTestConfig(), env)
+	feedQuadrant(t, o, 400, 73)
+	p := o.Predictor()
+	epoch := p.RetuneEpoch()
+	if epoch == 0 || p.Warps() == nil {
+		t.Fatal("precondition: no retune happened")
+	}
+	obs := p.Tuner().Observed()
+	p.Reset()
+	if p.Warps() == nil || p.RetuneEpoch() != epoch {
+		t.Fatal("reset dropped warps or rewound the retune epoch")
+	}
+	if p.Tuner().Observed() != obs {
+		t.Fatal("reset cleared the harvested distribution")
+	}
+	if len(p.reservoir) != 0 || p.sinceRetune != 0 {
+		t.Fatalf("reset kept reservoir (%d samples, sinceRetune %d)", len(p.reservoir), p.sinceRetune)
+	}
+}

@@ -169,6 +169,15 @@ type TemplateObs struct {
 	memoInvalidations atomic.Uint64
 	qerror            QHist
 
+	// Candidate-generation and tunable-LSH health: the interned candidate
+	// set size and the learner's retune epoch (gauges), plus routing
+	// outcomes — optimizer invocations answered from the candidate set, and
+	// full optimizations whose winner was already a candidate.
+	candidatePlans  atomic.Int64
+	retuneEpoch     atomic.Uint64
+	candidateRouted atomic.Uint64
+	candidateKept   atomic.Uint64
+
 	predict  Hist
 	optimize Hist
 	execute  Hist
@@ -276,6 +285,23 @@ func (t *TemplateObs) CountMemoInvalidation() { t.memoInvalidations.Add(1) }
 // MemoInvalidations returns the memo-rebuild count.
 func (t *TemplateObs) MemoInvalidations() uint64 { return t.memoInvalidations.Load() }
 
+// SetCandidatePlans records the template's interned candidate set size.
+func (t *TemplateObs) SetCandidatePlans(n int) { t.candidatePlans.Store(int64(n)) }
+
+// SetRetuneEpoch records the learner's current tunable-LSH retune epoch.
+func (t *TemplateObs) SetRetuneEpoch(e uint64) { t.retuneEpoch.Store(e) }
+
+// CountCandidateRouted records an optimizer invocation answered by
+// re-costing the candidate set instead of a full optimization.
+func (t *TemplateObs) CountCandidateRouted() { t.candidateRouted.Add(1) }
+
+// CountCandidateKept records a full optimization whose winning plan was
+// already in the candidate set — evidence the set covers the plan space.
+func (t *TemplateObs) CountCandidateKept() { t.candidateKept.Add(1) }
+
+// CandidateRouted returns the candidate-routed invocation count.
+func (t *TemplateObs) CandidateRouted() uint64 { return t.candidateRouted.Load() }
+
 // QError returns a snapshot of the estimation q-error histogram.
 func (t *TemplateObs) QError() QHistSnapshot { return t.qerror.Snapshot() }
 
@@ -340,6 +366,13 @@ type CounterSnapshot struct {
 	// MemoInvalidations counts memo rebuilds forced by correction-epoch
 	// movement in the adaptive statistics layer.
 	MemoInvalidations uint64 `json:"memo_invalidations"`
+	// Candidate-generation and tunable-LSH fields (additive): the interned
+	// candidate set size and retune-epoch gauges, and the routing-outcome
+	// counters.
+	CandidatePlans  int64  `json:"candidate_plans"`
+	RetuneEpoch     uint64 `json:"retune_epoch"`
+	CandidateRouted uint64 `json:"candidate_routed"`
+	CandidateKept   uint64 `json:"candidate_kept"`
 }
 
 // TemplateSnapshot is the JSON form of one template's metrics.
@@ -385,6 +418,10 @@ func (t *TemplateObs) Snapshot() TemplateSnapshot {
 			SnapshotPublishes:    t.snapshotPublishes.Load(),
 			QueueDepth:           t.queueDepth.Load(),
 			MemoInvalidations:    t.memoInvalidations.Load(),
+			CandidatePlans:       t.candidatePlans.Load(),
+			RetuneEpoch:          t.retuneEpoch.Load(),
+			CandidateRouted:      t.candidateRouted.Load(),
+			CandidateKept:        t.candidateKept.Load(),
 		},
 		PredictLatency:   t.predict.Snapshot(),
 		OptimizeLatency:  t.optimize.Snapshot(),

@@ -58,6 +58,17 @@ func (o *Optimizer) SetStats(p stats.Provider) { o.stats = p }
 // Stats returns the selectivity provider.
 func (o *Optimizer) Stats() stats.Provider { return o.stats }
 
+// WithStats returns a shallow clone of the optimizer that estimates through
+// the given provider instead. The clone shares the database, catalog, cost
+// model and fault injector; it exists so callers can optimize the same
+// query under perturbed statistics (candidate-plan enumeration) without
+// mutating the shared optimizer other goroutines are using.
+func (o *Optimizer) WithStats(p stats.Provider) *Optimizer {
+	c := *o
+	c.stats = p
+	return &c
+}
+
 // SetFaults attaches a fault injector (nil disables injection). Chaos tests
 // use it to simulate optimizer outages and latency spikes.
 func (o *Optimizer) SetFaults(inj *faults.Injector) { o.faults = inj }

@@ -166,11 +166,18 @@ func (s *State) Install(snap *netproto.Snapshot) error {
 // registered them after the snapshot was cut, and the next full snapshot
 // covers them. The received sequence advances over every record either
 // way, so lag converges to zero even with unknown templates in the stream.
+//
+// Within one template's stream, feedback and retune records replay in log
+// order: a retune record is a barrier (it rebuilds the synopsis from its
+// reservoir under the shipped warps), so the pending feedback batch flushes
+// before it applies — the interleaving that makes the replica's synopsis
+// bit-identical to the leader's. Correction records carry absolute state
+// and stay order-independent.
 func (s *State) ApplyRecords(recs []wal.Record) (applied, skipped int) {
 	if len(recs) == 0 {
 		return 0, 0
 	}
-	byTemplate := make(map[string][]core.Feedback)
+	byTemplate := make(map[string][]wal.Record)
 	corrByTemplate := make(map[string][]stats.CorrRecord)
 	for _, r := range recs {
 		if r.Kind == wal.RecordCorrection {
@@ -188,26 +195,19 @@ func (s *State) ApplyRecords(recs []wal.Record) (applied, skipped int) {
 			})
 			continue
 		}
-		byTemplate[r.Template] = append(byTemplate[r.Template], core.Feedback{
-			Point:       r.Point,
-			Plan:        int(r.Plan),
-			Cost:        r.Cost,
-			SelfLabeled: r.SelfLabeled,
-			Epoch:       r.Epoch,
-			Seq:         r.Seq,
-		})
+		byTemplate[r.Template] = append(byTemplate[r.Template], r)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for name, batch := range byTemplate {
+	for name, stream := range byTemplate {
 		o := s.templates[name]
 		if o == nil {
-			skipped += len(batch)
+			skipped += len(stream)
 			continue
 		}
-		a, sk, stale := o.ReplayBatch(batch)
+		a, sk := applyStream(o, stream)
 		applied += a
-		skipped += sk + stale
+		skipped += sk
 	}
 	for name, batch := range corrByTemplate {
 		o := s.templates[name]
@@ -230,6 +230,61 @@ func (s *State) ApplyRecords(recs []wal.Record) (applied, skipped int) {
 	s.obs.CountRecordsApplied(applied)
 	s.obs.SetAppliedSeq(s.receivedSeq)
 	return applied, skipped
+}
+
+// applyStream replays one template's ordered feedback/retune record stream
+// into its learner, flushing the accumulated feedback batch at each retune
+// record. A malformed retune payload is counted skipped; the stream keeps
+// replaying (the next snapshot reconciles).
+func applyStream(o *core.Online, stream []wal.Record) (applied, skipped int) {
+	batch := make([]core.Feedback, 0, len(stream))
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		a, sk, stale := o.ReplayBatch(batch)
+		applied += a
+		skipped += sk + stale
+		batch = batch[:0]
+	}
+	for _, r := range stream {
+		if r.Kind == wal.RecordRetune {
+			flush()
+			warps, err := core.WarpsFromFlat(int(r.WarpT), int(r.WarpS), int(r.WarpK), r.Warps)
+			if err != nil {
+				skipped++
+				continue
+			}
+			if o.ReplayRetune(r.Seq, r.RetuneEpoch, warps) {
+				applied++
+			} else {
+				skipped++
+			}
+			continue
+		}
+		batch = append(batch, core.Feedback{
+			Point:       r.Point,
+			Plan:        int(r.Plan),
+			Cost:        r.Cost,
+			SelfLabeled: r.SelfLabeled,
+			Epoch:       r.Epoch,
+			Seq:         r.Seq,
+		})
+	}
+	flush()
+	return applied, skipped
+}
+
+// RetuneEpoch returns the tunable-LSH retune epoch of one installed
+// template's learner (0 when the template is absent or tuning never fired).
+// Parity audits compare it against the leader's.
+func (s *State) RetuneEpoch(template string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if o := s.templates[template]; o != nil {
+		return o.RetuneEpoch()
+	}
+	return 0
 }
 
 // CorrectionState returns the correction state shipped for one template —

@@ -310,6 +310,10 @@ func (c *Corrections) ActiveSites() int {
 const (
 	corrMagic   = uint32(0x43505043) // "CPPC"
 	corrVersion = uint16(1)
+	// CorrectionsMagic exposes the section magic so multi-section decoders
+	// (core's optional persistence tail) can dispatch on a peeked magic
+	// before handing the stream to DecodeCorrections.
+	CorrectionsMagic = corrMagic
 	// maxCorrSites caps the declared site count so a corrupted length field
 	// cannot drive a huge allocation.
 	maxCorrSites = 1 << 20
@@ -399,6 +403,14 @@ func (c *Corrections) RestoreFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	return c.Adopt(dec)
+}
+
+// Adopt replaces this state with an already-decoded one (nil resets to
+// cold), requiring the same site count. Split from RestoreFrom so callers
+// that demultiplex several optional persistence sections can decode the
+// corrections section themselves and hand over the result.
+func (c *Corrections) Adopt(dec *Corrections) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if dec == nil {

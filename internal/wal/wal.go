@@ -32,6 +32,9 @@
 //	payload (kind 2, correction):
 //	         u8 kind | u64 seq | u64 corrEpoch | u16 len(template) template |
 //	         u32 site | f64 logc | u64 n | f64 ref
+//	payload (kind 3, retune):
+//	         u8 kind | u64 seq | u64 retuneEpoch | u16 len(template) template |
+//	         u16 t | u16 s | u16 k | f64*(t*s*k) warp knots
 //
 // Sequence numbers are global, monotonically increasing, and never reused;
 // segment file names carry the first sequence number the segment may
@@ -74,6 +77,9 @@ const (
 	// corrPayloadFixed is a correction payload's size net of the template
 	// name: kind, seq, corrEpoch, name length, site, logc, n, ref.
 	corrPayloadFixed = 1 + 8 + 8 + 2 + 4 + 8 + 8 + 8
+	// retunePayloadFixed is a retune payload's size net of the template name
+	// and knots: kind, seq, retuneEpoch, name length, t, s, k.
+	retunePayloadFixed = 1 + 8 + 8 + 2 + 2 + 2 + 2
 
 	// DefaultSegmentBytes rotates segments at 4 MiB.
 	DefaultSegmentBytes = 4 << 20
@@ -93,6 +99,10 @@ const (
 	// RecordCorrection is one adaptive-statistics correction site update:
 	// the absolute post-update EWMA state, so replay is idempotent.
 	RecordCorrection uint8 = 2
+	// RecordRetune is one tunable-LSH re-tune event: the absolute warp knot
+	// vectors the learner switched to, so replay (and replicas) rebuild the
+	// identical mapping without re-deriving it from harvested counts.
+	RecordRetune uint8 = 3
 )
 
 // Record is one durable log record. Kind selects which fields are live; a
@@ -120,6 +130,15 @@ type Record struct {
 	LogC      float64
 	N         uint64
 	Ref       float64
+
+	// Retune fields: RetuneEpoch is the learner's re-tune epoch after the
+	// switch; WarpT×WarpS warps of WarpK knots each, flattened row-major
+	// into Warps (transform-major, then axis, then knot).
+	RetuneEpoch uint64
+	WarpT       uint16
+	WarpS       uint16
+	WarpK       uint16
+	Warps       []float64
 }
 
 // SyncPolicy selects when Commit calls fsync. The zero value is SyncAlways:
@@ -454,6 +473,8 @@ func decodePayload(p []byte) (Record, string) {
 	case RecordFeedback:
 	case RecordCorrection:
 		return decodeCorrection(p)
+	case RecordRetune:
+		return decodeRetune(p)
 	default:
 		return Record{}, fmt.Sprintf("unknown record kind %d", p[0])
 	}
@@ -519,11 +540,51 @@ func decodeCorrection(p []byte) (Record, string) {
 	return rec, ""
 }
 
+// decodeRetune decodes a kind-3 retune payload.
+func decodeRetune(p []byte) (Record, string) {
+	le := binary.LittleEndian
+	rec := Record{Kind: RecordRetune}
+	if len(p) < retunePayloadFixed {
+		return Record{}, "retune record too short"
+	}
+	off := 1
+	rec.Seq = le.Uint64(p[off:])
+	off += 8
+	rec.RetuneEpoch = le.Uint64(p[off:])
+	off += 8
+	tl := int(le.Uint16(p[off:]))
+	off += 2
+	if off+tl+6 > len(p) {
+		return Record{}, "retune record payload shorter than its template name"
+	}
+	rec.Template = string(p[off : off+tl])
+	off += tl
+	rec.WarpT = le.Uint16(p[off:])
+	off += 2
+	rec.WarpS = le.Uint16(p[off:])
+	off += 2
+	rec.WarpK = le.Uint16(p[off:])
+	off += 2
+	n := int(rec.WarpT) * int(rec.WarpS) * int(rec.WarpK)
+	if off+8*n != len(p) {
+		return Record{}, fmt.Sprintf("retune record knot count %d disagrees with payload length", n)
+	}
+	rec.Warps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		rec.Warps[i] = math.Float64frombits(le.Uint64(p[off:]))
+		off += 8
+	}
+	return rec, ""
+}
+
 // encodeFrame encodes rec's framed bytes into buf (reusing its capacity)
 // and returns the frame.
 func encodeFrame(buf []byte, rec *Record) []byte {
 	if rec.Kind == RecordCorrection {
 		return encodeCorrectionFrame(buf, rec)
+	}
+	if rec.Kind == RecordRetune {
+		return encodeRetuneFrame(buf, rec)
 	}
 	le := binary.LittleEndian
 	payLen := minPayload + len(rec.Template) + 8*len(rec.Point)
@@ -592,6 +653,42 @@ func encodeCorrectionFrame(buf []byte, rec *Record) []byte {
 	le.PutUint64(p[off:], rec.N)
 	off += 8
 	le.PutUint64(p[off:], math.Float64bits(rec.Ref))
+	le.PutUint32(frame[4:8], crc32.Checksum(p, walCRC))
+	return frame
+}
+
+// encodeRetuneFrame encodes a kind-3 retune record. Real retune payloads
+// (at least one warp of WarpBins+1 knots) always clear minPayload.
+func encodeRetuneFrame(buf []byte, rec *Record) []byte {
+	le := binary.LittleEndian
+	payLen := retunePayloadFixed + len(rec.Template) + 8*len(rec.Warps)
+	need := frameOverhead + payLen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	frame := buf[:need]
+	le.PutUint32(frame[0:4], uint32(payLen))
+	p := frame[frameOverhead:]
+	p[0] = RecordRetune
+	off := 1
+	le.PutUint64(p[off:], rec.Seq)
+	off += 8
+	le.PutUint64(p[off:], rec.RetuneEpoch)
+	off += 8
+	le.PutUint16(p[off:], uint16(len(rec.Template)))
+	off += 2
+	copy(p[off:], rec.Template)
+	off += len(rec.Template)
+	le.PutUint16(p[off:], rec.WarpT)
+	off += 2
+	le.PutUint16(p[off:], rec.WarpS)
+	off += 2
+	le.PutUint16(p[off:], rec.WarpK)
+	off += 2
+	for _, v := range rec.Warps {
+		le.PutUint64(p[off:], math.Float64bits(v))
+		off += 8
+	}
 	le.PutUint32(frame[4:8], crc32.Checksum(p, walCRC))
 	return frame
 }

@@ -62,6 +62,12 @@ type savedTemplate struct {
 	Name    string
 	SQL     string
 	Learner []byte
+	// CandFPs and CandEpoch carry the candidate plan set (fingerprints, and
+	// the correction epoch it was generated at). Gob-additive: snapshots
+	// written before the field decode it as empty, and restore falls back to
+	// regeneration at registration time.
+	CandFPs   []string
+	CandEpoch uint64
 }
 
 type savedPlan struct {
@@ -155,8 +161,13 @@ func (s *System) SaveState(w io.Writer) (err error) {
 		if encErr != nil {
 			return &SnapshotError{Op: "save", Err: fmt.Errorf("template %s: %w", name, encErr)}
 		}
+		st.candMu.RLock()
+		candFPs := append([]string(nil), st.candFPs...)
+		candEpoch := st.candEpoch
+		st.candMu.RUnlock()
 		out.Templates = append(out.Templates, savedTemplate{
 			Name: name, SQL: st.tmpl.SQL, Learner: buf.Bytes(),
+			CandFPs: candFPs, CandEpoch: candEpoch,
 		})
 	}
 	// Registry fingerprints come after the learners (see doc comment).
@@ -276,6 +287,26 @@ func (s *System) LoadState(r io.Reader) (err error) {
 				return rerr
 			}
 			continue
+		}
+		// The retune gauge is otherwise only written on live re-tunes; seed
+		// it so a restored system reports its re-tuned state immediately.
+		s.templates[st.Name].obs.SetRetuneEpoch(s.templates[st.Name].online.RetuneEpoch())
+		// Adopt the saved candidate set over the one registerLocked just
+		// regenerated: the saved fingerprints were produced at the saved
+		// correction epoch, which the restored learner state is in lockstep
+		// with. Ids resolve through the rebuilt registry (dense, identical).
+		if len(st.CandFPs) > 0 {
+			ts := s.templates[st.Name]
+			ids := make([]int, len(st.CandFPs))
+			for i, fp := range st.CandFPs {
+				ids[i] = s.reg.ID(fp)
+			}
+			ts.candMu.Lock()
+			ts.candIDs = ids
+			ts.candFPs = append([]string(nil), st.CandFPs...)
+			ts.candEpoch = st.CandEpoch
+			ts.candMu.Unlock()
+			ts.obs.SetCandidatePlans(len(ids))
 		}
 		report.Templates++
 	}

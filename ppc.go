@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/candidates"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/executor"
@@ -112,6 +113,41 @@ type Options struct {
 	// tests use it to inject base-estimate error (stats.Distorted) and
 	// watch the corrections repair it; production systems leave it nil.
 	StatsWrap func(stats.Provider) stats.Provider
+	// Candidates configures registration-time candidate plan enumeration:
+	// each template's plan space is swept under perturbed selectivities and
+	// the structurally distinct plans are interned into the cache, so the
+	// learner routes among real alternatives from the first query. Off by
+	// default.
+	Candidates CandidatesOptions
+	// TunableLSH configures the incremental LSH re-tune pass: per-axis
+	// transform grids adapt to the empirical parameter distribution
+	// harvested on the feedback path, republishing the synopsis under the
+	// retuned mapping. Off by default.
+	TunableLSH TunableLSHOptions
+}
+
+// CandidatesOptions configures candidate plan enumeration (see
+// internal/candidates).
+type CandidatesOptions struct {
+	// Enable turns the subsystem on.
+	Enable bool
+	// Scales are the selectivity distortion factors swept around the base
+	// estimate (default {0.25, 0.5, 2, 4}; 1.0 is always probed).
+	Scales []float64
+	// MaxPlans caps each template's candidate set (default 8).
+	MaxPlans int
+}
+
+// TunableLSHOptions configures the tunable-LSH re-tune pass (see
+// core.Config.RetuneEvery).
+type TunableLSHOptions struct {
+	// Enable turns the subsystem on.
+	Enable bool
+	// RetuneEvery re-tunes after this many absorbed feedback points
+	// (default 200).
+	RetuneEvery int
+	// Reservoir is the rebuild reservoir capacity (default 256).
+	Reservoir int
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +173,14 @@ func (o Options) withDefaults() Options {
 		o.Online.InvocationProb = 0.05
 	}
 	o.ExecutePlans = !o.DisableExecution
+	if o.TunableLSH.Enable {
+		if o.TunableLSH.RetuneEvery == 0 {
+			o.TunableLSH.RetuneEvery = 200
+		}
+		if o.TunableLSH.Reservoir == 0 {
+			o.TunableLSH.Reservoir = 256
+		}
+	}
 	if o.TraceRingSize == 0 {
 		o.TraceRingSize = 64
 	}
@@ -202,11 +246,12 @@ type System struct {
 
 	// Durability layer (nil/zero when Options.Durability.Dir is empty).
 	// wal is the shared feedback log; walObs its metrics; walPending holds
-	// replayed records for templates the checkpoint did not contain, keyed
-	// by template name and guarded by regMu (consumed at registration).
+	// recovered records (feedback and retune, interleaved in log order) for
+	// templates the checkpoint did not contain, keyed by template name and
+	// guarded by regMu (consumed at registration).
 	wal        *wal.Log
 	walObs     *obsv.WALObs
-	walPending map[string][]core.Feedback
+	walPending map[string][]wal.Record
 	// corrPending holds recovered correction records for templates the
 	// checkpoint did not contain, symmetric with walPending.
 	corrPending map[string][]stats.CorrRecord
@@ -295,6 +340,17 @@ type templateState struct {
 	applyDone chan struct{}
 	closeOnce sync.Once
 	closed    atomic.Bool
+
+	// candMu guards the candidate plan set (sits between regMu and cacheMu
+	// in the lock hierarchy: generation interns plans under cacheMu while
+	// holding it). candIDs/candFPs are replaced wholesale, never mutated in
+	// place; candEpoch is the correction epoch the set was generated at —
+	// when the corrections move past it, the set's costs are stale and the
+	// background applier regenerates it.
+	candMu    sync.RWMutex
+	candIDs   []int
+	candFPs   []string
+	candEpoch uint64
 
 	// obs is this template's metrics (immutable pointer, set before the
 	// state is published; the counters themselves are atomics and need no
@@ -403,6 +459,9 @@ func (st *templateState) applyBatch(batch []core.Feedback, flushes []chan struct
 		t0 := time.Now()
 		applied, dropped := st.online.ApplyBatch(batch)
 		st.obs.RecordApply(time.Since(t0), applied, dropped)
+		// Lock-free snapshot read; the gauge tracks re-tunes the batch may
+		// have triggered.
+		st.obs.SetRetuneEpoch(st.online.RetuneEpoch())
 	}
 	for _, buf := range cards {
 		st.applyCards(buf)
@@ -429,6 +488,10 @@ func (st *templateState) applyCards(buf *cardBuf) {
 			// by the log's own observer and retried with the next batch.
 			st.corrLog.Commit() //nolint:errcheck
 		}
+		// An epoch bump makes the candidate set's costs stale; regenerate it
+		// under the corrected estimates (refreshCandidates early-outs on a
+		// matching epoch, so steady state pays one epoch comparison).
+		st.env.sys.refreshCandidates(st)
 	}
 	releaseCards(buf)
 }
@@ -620,6 +683,10 @@ func (s *System) registerLocked(name, sql string) error {
 	cfg := s.opts.Online
 	cfg.Core.Dims = tmpl.Degree()
 	cfg.Core.OutDims = 0 // per-template default
+	if s.opts.TunableLSH.Enable {
+		cfg.Core.RetuneEvery = s.opts.TunableLSH.RetuneEvery
+		cfg.Core.RetuneReservoir = s.opts.TunableLSH.Reservoir
+	}
 	online, err := core.NewOnline(cfg, env)
 	if err != nil {
 		return err
@@ -636,6 +703,7 @@ func (s *System) registerLocked(name, sql string) error {
 	if s.wal != nil {
 		ws := &walSink{log: s.wal, template: name}
 		online.SetWAL(ws)
+		online.SetRetuneLogger(ws)
 		st.corrLog = ws
 	}
 	memo, err := s.opt.NewMemo(tmpl.Query)
@@ -661,6 +729,10 @@ func (s *System) registerLocked(name, sql string) error {
 		go st.applyLoop()
 	}
 	s.templates[name] = st
+	// Enumerate and intern the template's candidate plan set so predictions
+	// can resolve to real cached plans from the very first Run — no cache
+	// miss needed to populate the alternatives.
+	s.refreshCandidates(st)
 	// Replay any WAL records recovered for this template before the
 	// checkpoint knew it (or because the checkpoint was corrupt) — the
 	// template serves warm from its first Run.
@@ -668,6 +740,109 @@ func (s *System) registerLocked(name, sql string) error {
 		s.replayPendingLocked(name, st)
 	}
 	return nil
+}
+
+// refreshCandidates (re)generates the template's candidate plan set and
+// interns every survivor into the shared cache. A no-op when the subsystem
+// is disabled or the set is already fresh against the correction epoch.
+// Called at registration (under regMu) and from the background applier
+// after a correction-epoch bump (no facade lock held); both orders respect
+// the hierarchy regMu > candMu > cacheMu. A generation failure keeps the
+// previous set — routing then falls back to the full optimizer until the
+// next epoch bump retries.
+func (s *System) refreshCandidates(st *templateState) {
+	if !s.opts.Candidates.Enable {
+		return
+	}
+	var epoch uint64
+	if st.corr != nil {
+		epoch = st.corr.Epoch()
+	}
+	st.candMu.Lock()
+	defer st.candMu.Unlock()
+	if st.candIDs != nil && st.candEpoch == epoch {
+		return
+	}
+	cands, err := candidates.Generate(s.opt, st.tmpl, candidates.Config{
+		Scales:   s.opts.Candidates.Scales,
+		MaxPlans: s.opts.Candidates.MaxPlans,
+	})
+	if err != nil {
+		return
+	}
+	ids := make([]int, 0, len(cands))
+	fps := make([]string, 0, len(cands))
+	for _, c := range cands {
+		id, _ := s.internPlan(st, c.Plan)
+		ids = append(ids, id)
+		fps = append(fps, c.Plan.Fingerprint)
+	}
+	st.candIDs, st.candFPs, st.candEpoch = ids, fps, epoch
+	st.obs.SetCandidatePlans(len(ids))
+}
+
+// candidateRoute serves a learner optimizer invocation from the template's
+// interned candidate set when it is fresh: every candidate is re-costed at
+// the instance in O(params) via its cached rebind program and the cheapest
+// wins — the plan the full optimizer would pick whenever the set covers the
+// optimum, at a fraction of the cost. Returns ok=false when candidates are
+// disabled, stale against the correction epoch, or not recostable; the
+// caller then falls back to full optimization.
+func (s *System) candidateRoute(st *templateState, values []float64) (int, float64, bool) {
+	if !s.opts.Candidates.Enable {
+		return 0, 0, false
+	}
+	st.candMu.RLock()
+	ids := st.candIDs
+	epoch := st.candEpoch
+	st.candMu.RUnlock()
+	if len(ids) < 2 {
+		return 0, 0, false
+	}
+	if st.corr != nil && st.corr.Epoch() != epoch {
+		// The correction epoch moved past the set: its costs are stale.
+		// The background applier regenerates; this run takes the full
+		// optimizer.
+		return 0, 0, false
+	}
+	s.cacheMu.RLock()
+	type cand struct {
+		id    int
+		entry *cachedPlan
+	}
+	live := make([]cand, 0, len(ids))
+	for _, id := range ids {
+		if entry := s.planByID[id]; entry != nil && entry.owner == st && entry.rebind != nil {
+			live = append(live, cand{id: id, entry: entry})
+		}
+	}
+	s.cacheMu.RUnlock()
+	bestID, bestCost, found := 0, 0.0, false
+	for _, c := range live {
+		cost, err := c.entry.rebind.Recost(s.opt, values)
+		if err != nil {
+			continue
+		}
+		if !found || cost < bestCost {
+			bestID, bestCost, found = c.id, cost, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bestID, bestCost, true
+}
+
+// candidateHas reports whether the fingerprint is in the candidate set.
+func (st *templateState) candidateHas(fp string) bool {
+	st.candMu.RLock()
+	defer st.candMu.RUnlock()
+	for _, f := range st.candFPs {
+		if f == fp {
+			return true
+		}
+	}
+	return false
 }
 
 // Close stops every template's background apply goroutine after draining
@@ -1465,17 +1640,27 @@ type planEnv struct {
 
 // Optimize implements core.Environment: invoke the real optimizer at plan
 // space point x — through the template's memo — intern the plan, and cache
-// it.
+// it. With candidate enumeration on, a fresh candidate set answers instead:
+// re-costing the interned alternatives at the instance is O(candidates ×
+// params), picks the same plan the optimizer would whenever the set covers
+// the optimum, and never waits on a cache miss to surface it.
 func (e *planEnv) Optimize(x []float64) (int, float64, error) {
 	inst, err := e.sys.opt.InstanceAt(e.tmpl, x)
 	if err != nil {
 		return 0, 0, err
+	}
+	if id, cost, ok := e.sys.candidateRoute(e.st, inst.Values); ok {
+		e.st.obs.CountCandidateRouted()
+		return id, cost, nil
 	}
 	plan, err := e.sys.opt.OptimizeMemo(e.sys.memoFor(e.st), inst.Values)
 	if err != nil {
 		return 0, 0, err
 	}
 	id, _ := e.sys.internPlan(e.st, plan)
+	if e.st.candidateHas(plan.Fingerprint) {
+		e.st.obs.CountCandidateKept()
+	}
 	return id, plan.Cost, nil
 }
 
